@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in
+offline environments whose setuptools lacks the ``wheel`` package needed
+for PEP 660 editable builds.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,65 @@
+"""Uniform paper-vs-measured reporting for the benchmark suite.
+
+Every benchmark builds an :class:`ExperimentReport`: the experiment id
+(DESIGN.md's E-numbers), the paper's claim, the measured value(s), and a
+shape verdict.  Benchmarks print the report; EXPERIMENTS.md archives the
+outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.analysis.tables import Table
+
+
+@dataclass
+class ClaimCheck:
+    """One claim's expected-vs-measured line."""
+
+    claim: str
+    expected: str
+    measured: str
+    holds: Optional[bool] = None
+
+
+@dataclass
+class ExperimentReport:
+    experiment_id: str
+    title: str
+    checks: List[ClaimCheck] = field(default_factory=list)
+    tables: List[Table] = field(default_factory=list)
+
+    def check(
+        self,
+        claim: str,
+        expected: str,
+        measured: str,
+        holds: Optional[bool] = None,
+    ) -> None:
+        self.checks.append(ClaimCheck(claim, expected, measured, holds))
+
+    def add_table(self, table: Table) -> None:
+        self.tables.append(table)
+
+    @property
+    def all_hold(self) -> bool:
+        return all(c.holds for c in self.checks if c.holds is not None)
+
+    def render(self) -> str:
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        summary = Table(["claim", "paper", "measured", "holds"])
+        for check in self.checks:
+            verdict = (
+                "-" if check.holds is None else ("yes" if check.holds else "NO")
+            )
+            summary.add_row(check.claim, check.expected, check.measured, verdict)
+        lines.append(summary.render())
+        for table in self.tables:
+            lines.append("")
+            lines.append(table.render())
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,148 @@
+"""Per-virtual-circuit credit state (the protocol of Figure 4).
+
+"The upstream switch maintains a credit balance for buffers in the
+downstream switch; this is the number of buffers known to be empty.
+Whenever the upstream switch sends a cell, it decrements the balance for
+the corresponding virtual circuit.  Whenever a cell buffer is freed in the
+downstream switch... a credit is transmitted back to the upstream switch,
+and the credit balance for the circuit is incremented.  Cells are only
+transmitted for circuits with non-zero credit balances."
+
+Both ends also keep *cumulative* counters (cells sent / buffers freed).
+These make the scheme "robust in the face of lost flow-control messages":
+a lost credit only shrinks the usable window, and the resynchronization
+protocol (:mod:`repro.core.flowcontrol.resync`) restores it from the
+counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class CreditError(Exception):
+    """Protocol violation: sending without credit, freeing a free buffer..."""
+
+
+@dataclass
+class UpstreamCredits:
+    """The sender's side: a credit balance for one VC over one link."""
+
+    allocation: int
+    balance: int = field(default=-1)
+    cells_sent: int = 0
+    credits_received: int = 0
+    stalls: int = 0  # times a send was attempted/needed with zero balance
+
+    def __post_init__(self) -> None:
+        if self.allocation <= 0:
+            raise CreditError(f"allocation must be positive, got {self.allocation}")
+        if self.balance < 0:
+            self.balance = self.allocation
+
+    @property
+    def can_send(self) -> bool:
+        return self.balance > 0
+
+    def consume(self) -> None:
+        """Account for one cell transmitted downstream."""
+        if self.balance <= 0:
+            raise CreditError("sent a cell with zero credit balance")
+        self.balance -= 1
+        self.cells_sent += 1
+
+    def credit(self, amount: int = 1) -> None:
+        """A credit cell arrived from downstream."""
+        if amount <= 0:
+            raise CreditError(f"non-positive credit {amount}")
+        self.balance += amount
+        self.credits_received += amount
+        if self.balance > self.allocation:
+            raise CreditError(
+                f"balance {self.balance} exceeds allocation {self.allocation}"
+            )
+
+    def note_stall(self) -> None:
+        self.stalls += 1
+
+    def resynchronize(self, downstream_freed_total: int) -> int:
+        """Reset the balance from the downstream's cumulative counter.
+
+        ``allocation - (cells_sent - downstream_freed_total)`` is exactly
+        the number of empty downstream buffers; returns the number of
+        credits recovered (0 if none were lost).
+        """
+        in_flight_or_buffered = self.cells_sent - downstream_freed_total
+        if in_flight_or_buffered < 0:
+            raise CreditError("downstream freed more cells than were sent")
+        correct = self.allocation - in_flight_or_buffered
+        recovered = correct - self.balance
+        if recovered < 0:
+            raise CreditError(
+                f"resync would *reduce* balance ({self.balance} -> {correct})"
+            )
+        self.balance = correct
+        return recovered
+
+
+@dataclass
+class DownstreamCredits:
+    """The receiver's side: buffer occupancy for one VC over one link."""
+
+    allocation: int
+    occupied: int = 0
+    cells_received: int = 0
+    buffers_freed: int = 0
+    overflows: int = 0
+
+    def __post_init__(self) -> None:
+        if self.allocation <= 0:
+            raise CreditError(f"allocation must be positive, got {self.allocation}")
+
+    def receive(self) -> None:
+        """A cell arrived and takes a buffer.
+
+        With a correct upstream this can never overflow; the check is the
+        losslessness invariant the property tests lean on.
+        """
+        if self.occupied >= self.allocation:
+            self.overflows += 1
+            raise CreditError(
+                f"buffer overflow: {self.occupied}/{self.allocation} occupied"
+            )
+        self.occupied += 1
+        self.cells_received += 1
+
+    def free(self) -> None:
+        """The cell left through the crossbar; its buffer is empty again.
+
+        The caller is responsible for transmitting the credit upstream.
+        """
+        if self.occupied <= 0:
+            raise CreditError("freed a buffer that was not occupied")
+        self.occupied -= 1
+        self.buffers_freed += 1
+
+
+def conservation_holds(
+    upstream: UpstreamCredits,
+    downstream: DownstreamCredits,
+    cells_in_flight: int,
+    credits_in_flight: int,
+) -> bool:
+    """The conservation invariant of a lossless link:
+
+    ``balance + cells_in_flight + occupied + credits_in_flight ==
+    allocation``.
+
+    Property tests drive random send/forward schedules and assert this at
+    every step; credit loss breaks it by exactly the number lost, which is
+    what resynchronization recovers.
+    """
+    return (
+        upstream.balance
+        + cells_in_flight
+        + downstream.occupied
+        + credits_in_flight
+        == upstream.allocation
+    )

@@ -1,0 +1,83 @@
+"""Credit resynchronization.
+
+"The credit-based scheme is robust in the face of lost flow-control
+messages.  With credits, a lost message can only cause reduced
+performance.  Performance can be regained by having the upstream switch
+periodically trigger a resynchronization of credits.  Devising the
+re-synchronization protocol is in itself an interesting problem in
+distributed computing..." (section 5).
+
+The protocol implemented here is the classic cumulative-counter exchange
+(the same idea as N23/QFC resync):
+
+1. the upstream sends ``ResyncRequest(vc, cells_sent)`` -- its cumulative
+   transmit counter -- *in order* with data cells on the link;
+2. the downstream, on receiving the request, replies
+   ``ResyncReply(vc, cells_sent_echo, buffers_freed)`` with its cumulative
+   freed counter, *in order* with credit returns;
+3. the upstream sets ``balance = allocation - (cells_sent_echo -
+   buffers_freed)`` -- but only if its transmit counter still equals the
+   echoed one, i.e. it has sent nothing since the request.  Otherwise it
+   just retries later.
+
+Step 3's guard makes the protocol safe even though request, reply, data
+and credit cells are all in flight concurrently: because the request and
+the reply travel in FIFO order with the data and credit streams, every
+cell sent before the request has been counted in ``buffers_freed`` or is
+still buffered downstream -- so the computed balance can only *recover*
+lost credits, never manufacture new ones.  (A lost request or reply just
+means the next periodic attempt tries again.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._types import VcId
+from repro.core.flowcontrol.credits import UpstreamCredits
+
+
+@dataclass(frozen=True)
+class ResyncRequest:
+    vc: VcId
+    cells_sent: int
+
+
+@dataclass(frozen=True)
+class ResyncReply:
+    vc: VcId
+    cells_sent_echo: int
+    buffers_freed: int
+
+
+class ResyncState:
+    """Upstream-side driver for one VC's resynchronization."""
+
+    def __init__(self, vc: VcId, upstream: UpstreamCredits) -> None:
+        self.vc = vc
+        self.upstream = upstream
+        self.requests_sent = 0
+        self.replies_applied = 0
+        self.credits_recovered = 0
+
+    def make_request(self) -> ResyncRequest:
+        """Snapshot the transmit counter into a request message."""
+        self.requests_sent += 1
+        return ResyncRequest(self.vc, self.upstream.cells_sent)
+
+    def apply_reply(self, reply: ResyncReply) -> int:
+        """Apply a reply; returns credits recovered (0 if stale/no-op).
+
+        Stale means the upstream transmitted more cells after snapshotting
+        the request; the computed balance would be wrong (too generous),
+        so the reply is discarded and the next periodic request retries.
+        """
+        if reply.vc != self.vc:
+            raise ValueError(f"reply for vc {reply.vc} given to vc {self.vc}")
+        if reply.cells_sent_echo != self.upstream.cells_sent:
+            return 0
+        recovered = self.upstream.resynchronize(reply.buffers_freed)
+        if recovered:
+            self.credits_recovered += recovered
+        self.replies_applied += 1
+        return recovered

@@ -1,0 +1,82 @@
+"""Credit/buffer sizing from link round trips.
+
+Section 5: "Suppose that a virtual circuit encounters no contention for
+the links on its route.  The circuit should be able to transmit at the
+full link rate, which would be impossible if the upstream switch on a
+link ever ran out of credits.  To guarantee that it never does, it must
+start with enough credits to cover a round-trip on the link...  Thus
+enough buffers are needed for each virtual circuit to hold as many cells
+as can be transmitted in one round-trip time on the link."
+
+The E9 benchmark sweeps the per-VC credit allocation through and past
+this bound and shows throughput saturating exactly at the round-trip
+size, and :func:`memory_for_link` reproduces the back-of-envelope memory
+estimate ("With 1000 virtual circuits per link and a maximum link length
+of 10 km, the required memory costs much less than the opto-electronics
+in the line card").
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.constants import (
+    CELL_BYTES,
+    CELL_BITS,
+    FAST_LINK_BPS,
+    PROPAGATION_US_PER_KM,
+)
+
+
+def round_trip_us(
+    length_km: float,
+    bps: float = FAST_LINK_BPS,
+    per_hop_processing_us: float = 0.0,
+) -> float:
+    """Round-trip time of a link: two propagation delays, one cell
+    serialization each way, plus any fixed processing."""
+    if length_km < 0:
+        raise ValueError(f"negative link length {length_km}")
+    one_way = length_km * PROPAGATION_US_PER_KM
+    cell_time = CELL_BITS / bps * 1e6
+    return 2 * (one_way + cell_time + per_hop_processing_us)
+
+
+def round_trip_cells(
+    length_km: float,
+    bps: float = FAST_LINK_BPS,
+    per_hop_processing_us: float = 0.0,
+) -> int:
+    """Cells transmittable in one round trip -- the credit floor for
+    full-rate transmission on an uncontended circuit."""
+    cell_time = CELL_BITS / bps * 1e6
+    rtt = round_trip_us(length_km, bps, per_hop_processing_us)
+    return max(1, math.ceil(rtt / cell_time))
+
+
+def credits_for_link(
+    length_km: float,
+    bps: float = FAST_LINK_BPS,
+    per_hop_processing_us: float = 0.0,
+    slack_cells: int = 1,
+) -> int:
+    """The static per-VC allocation AN2's first release would install:
+    the round-trip size plus a little slack for timing quantization."""
+    if slack_cells < 0:
+        raise ValueError(f"negative slack {slack_cells}")
+    return round_trip_cells(length_km, bps, per_hop_processing_us) + slack_cells
+
+
+def memory_for_link(
+    n_circuits: int = 1000,
+    length_km: float = 10.0,
+    bps: float = FAST_LINK_BPS,
+) -> int:
+    """Bytes of buffer memory one link needs at the paper's scale.
+
+    1000 VCs x round-trip(10 km) cells x 53 bytes -- the figure the paper
+    compares against the cost of line-card opto-electronics.
+    """
+    if n_circuits <= 0:
+        raise ValueError(f"n_circuits must be positive, got {n_circuits}")
+    return n_circuits * round_trip_cells(length_km, bps) * CELL_BYTES

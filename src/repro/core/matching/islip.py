@@ -1,0 +1,121 @@
+"""iSLIP-style round-robin matching -- an engineering ablation.
+
+The paper argues that "the randomness in parallel iterative matching
+protects against starvation".  A later line of work (McKeown's iSLIP)
+replaces the random grant/accept choices with rotating round-robin
+pointers, achieving the same starvation freedom deterministically and
+desynchronizing the pointers under load.  We include it as an ablation so
+the E2/E11 benchmarks can compare the two choice rules inside the same
+iterate-to-fill-gaps framework.
+
+Pointer discipline (standard iSLIP): grant and accept pointers advance to
+one past the chosen port, and only when the grant was accepted in the
+*first* iteration of a slot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.core.matching.pim import MatchResult, Matching
+
+
+class IslipMatcher:
+    """Round-robin request/grant/accept with pointer desynchronization."""
+
+    name = "islip"
+
+    def __init__(self, n_ports: int, iterations: int = 3) -> None:
+        if n_ports <= 0:
+            raise ValueError(f"n_ports must be positive, got {n_ports}")
+        if iterations <= 0:
+            raise ValueError(f"iterations must be positive, got {iterations}")
+        self.n_ports = n_ports
+        self.iterations = iterations
+        self.grant_pointers: List[int] = [0] * n_ports  # per output
+        self.accept_pointers: List[int] = [0] * n_ports  # per input
+
+    def reset(self) -> None:
+        self.grant_pointers = [0] * self.n_ports
+        self.accept_pointers = [0] * self.n_ports
+
+    def _rotate_pick(self, candidates: Sequence[int], pointer: int) -> int:
+        """First candidate at or after ``pointer`` in circular port order."""
+        best = min(candidates, key=lambda c: (c - pointer) % self.n_ports)
+        return best
+
+    def match(
+        self,
+        requests: Sequence[Set[int]],
+        pre_matched: Optional[Matching] = None,
+    ) -> MatchResult:
+        if len(requests) != self.n_ports:
+            raise ValueError(
+                f"expected {self.n_ports} request sets, got {len(requests)}"
+            )
+        matching: Matching = dict(pre_matched) if pre_matched else {}
+        matched_outputs: Set[int] = set(matching.values())
+        new_per_iteration: List[int] = []
+        iterations_to_maximal: Optional[int] = None
+
+        for iteration in range(1, self.iterations + 1):
+            requests_at_output: Dict[int, List[int]] = {}
+            for input_port, wanted in enumerate(requests):
+                if input_port in matching:
+                    continue
+                for output_port in wanted:
+                    if output_port not in matched_outputs:
+                        requests_at_output.setdefault(output_port, []).append(
+                            input_port
+                        )
+            grants_at_input: Dict[int, List[int]] = {}
+            for output_port, contenders in requests_at_output.items():
+                chosen = self._rotate_pick(
+                    contenders, self.grant_pointers[output_port]
+                )
+                grants_at_input.setdefault(chosen, []).append(output_port)
+            added = 0
+            for input_port, grants in grants_at_input.items():
+                accepted = self._rotate_pick(
+                    grants, self.accept_pointers[input_port]
+                )
+                matching[input_port] = accepted
+                matched_outputs.add(accepted)
+                added += 1
+                if iteration == 1:
+                    # Pointers move only on first-iteration accepts; this is
+                    # the rule that guarantees 100% throughput for uniform
+                    # traffic and prevents starvation.
+                    self.grant_pointers[accepted] = (
+                        input_port + 1
+                    ) % self.n_ports
+                    self.accept_pointers[input_port] = (
+                        accepted + 1
+                    ) % self.n_ports
+            new_per_iteration.append(added)
+            if iterations_to_maximal is None and self._is_maximal(
+                requests, matching, matched_outputs
+            ):
+                iterations_to_maximal = iteration
+                break
+
+        return MatchResult(
+            matching=matching,
+            iterations_run=len(new_per_iteration),
+            iterations_to_maximal=iterations_to_maximal,
+            new_matches_per_iteration=new_per_iteration,
+        )
+
+    def _is_maximal(
+        self,
+        requests: Sequence[Set[int]],
+        matching: Matching,
+        matched_outputs: Set[int],
+    ) -> bool:
+        for input_port, wanted in enumerate(requests):
+            if input_port in matching:
+                continue
+            for output_port in wanted:
+                if output_port not in matched_outputs:
+                    return False
+        return True

@@ -1,0 +1,184 @@
+"""Parallel iterative matching (PIM).
+
+Section 3, verbatim structure:
+
+1. Each unmatched input sends a request to *every* output for which it
+   has a buffered cell.
+2. If an unmatched output receives any requests, it chooses one
+   *randomly* to grant.
+3. If an input receives any grants, it chooses one to accept.
+
+The three steps repeat, "retaining the matches made in previous
+iterations"; iteration fills in the gaps.  Repeating until no more matches
+form yields a *maximal* matching; the paper proves the expected number of
+iterations to reach one is at most ``log2 N + 4/3`` and reports that
+simulations find a maximal match within 4 iterations more than 98% of the
+time.  AN2 hardware runs exactly 3 iterations because of the half-
+microsecond slot budget.
+
+This implementation mirrors the distributed structure: each step is
+computed per-port from that port's local view (the requests/grants it
+received), with the "dedicated wires" modelled by the request/grant/accept
+dictionaries exchanged between iterations.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+Matching = Dict[int, int]  # input port -> output port
+
+
+@dataclass
+class MatchResult:
+    """Outcome of one slot's matching.
+
+    Attributes:
+        matching: input -> output pairs chosen this slot (including any
+            pre-matched pairs passed in).
+        iterations_run: how many request/grant/accept rounds executed.
+        iterations_to_maximal: the first iteration index (1-based) after
+            which the matching was maximal, or ``None`` if it never became
+            maximal within ``iterations_run``.
+        new_matches_per_iteration: matches added by each iteration.
+    """
+
+    matching: Matching
+    iterations_run: int
+    iterations_to_maximal: Optional[int]
+    new_matches_per_iteration: List[int] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.matching)
+
+
+class ParallelIterativeMatcher:
+    """AN2's randomized crossbar scheduler.
+
+    Args:
+        n_ports: switch radix N (16 for AN2).
+        iterations: rounds per slot (AN2 uses 3).
+        rng: randomness source for the grant and accept choices.
+    """
+
+    name = "pim"
+
+    def __init__(
+        self,
+        n_ports: int,
+        iterations: int = 3,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if n_ports <= 0:
+            raise ValueError(f"n_ports must be positive, got {n_ports}")
+        if iterations <= 0:
+            raise ValueError(f"iterations must be positive, got {iterations}")
+        self.n_ports = n_ports
+        self.iterations = iterations
+        self.rng = rng if rng is not None else random.Random(0)
+
+    def match(
+        self,
+        requests: Sequence[Set[int]],
+        pre_matched: Optional[Matching] = None,
+    ) -> MatchResult:
+        """Compute one slot's matching.
+
+        Args:
+            requests: ``requests[i]`` is the set of outputs input ``i`` has
+                buffered cells for (its non-empty virtual-circuit queues).
+            pre_matched: input -> output pairs already committed this slot
+                (guaranteed-traffic reservations); PIM only fills the
+                remaining inputs and outputs, which is how best-effort
+                traffic rides the unreserved slots (section 4).
+        """
+        self._validate(requests)
+        matching: Matching = dict(pre_matched) if pre_matched else {}
+        matched_outputs: Set[int] = set(matching.values())
+        if len(matched_outputs) != len(matching):
+            raise ValueError("pre_matched pairs share an output")
+        iterations_to_maximal: Optional[int] = None
+        new_per_iteration: List[int] = []
+
+        for iteration in range(1, self.iterations + 1):
+            added = self._iterate(requests, matching, matched_outputs)
+            new_per_iteration.append(added)
+            if iterations_to_maximal is None and self._is_maximal(
+                requests, matching, matched_outputs
+            ):
+                iterations_to_maximal = iteration
+                # Later iterations cannot add matches once maximal; stop.
+                break
+
+        return MatchResult(
+            matching=matching,
+            iterations_run=len(new_per_iteration),
+            iterations_to_maximal=iterations_to_maximal,
+            new_matches_per_iteration=new_per_iteration,
+        )
+
+    # ------------------------------------------------------------------
+    def _iterate(
+        self,
+        requests: Sequence[Set[int]],
+        matching: Matching,
+        matched_outputs: Set[int],
+    ) -> int:
+        """One request/grant/accept round.  Mutates ``matching`` in place."""
+        # Step 1: each unmatched input requests every output it has cells
+        # for.  We record, per output, who asked.
+        requests_at_output: Dict[int, List[int]] = {}
+        for input_port, wanted in enumerate(requests):
+            if input_port in matching:
+                continue
+            for output_port in wanted:
+                requests_at_output.setdefault(output_port, []).append(input_port)
+
+        # Step 2: each unmatched output grants one request at random.
+        grants_at_input: Dict[int, List[int]] = {}
+        for output_port in sorted(requests_at_output):
+            if output_port in matched_outputs:
+                continue
+            contenders = requests_at_output[output_port]
+            chosen = contenders[self.rng.randrange(len(contenders))]
+            grants_at_input.setdefault(chosen, []).append(output_port)
+
+        # Step 3: each input with grants accepts one at random.
+        added = 0
+        for input_port in sorted(grants_at_input):
+            grants = grants_at_input[input_port]
+            accepted = grants[self.rng.randrange(len(grants))]
+            matching[input_port] = accepted
+            matched_outputs.add(accepted)
+            added += 1
+        return added
+
+    def _is_maximal(
+        self,
+        requests: Sequence[Set[int]],
+        matching: Matching,
+        matched_outputs: Set[int],
+    ) -> bool:
+        """No unmatched input still has a cell for an unmatched output."""
+        for input_port, wanted in enumerate(requests):
+            if input_port in matching:
+                continue
+            for output_port in wanted:
+                if output_port not in matched_outputs:
+                    return False
+        return True
+
+    def _validate(self, requests: Sequence[Set[int]]) -> None:
+        if len(requests) != self.n_ports:
+            raise ValueError(
+                f"expected {self.n_ports} request sets, got {len(requests)}"
+            )
+        for input_port, wanted in enumerate(requests):
+            for output_port in wanted:
+                if not 0 <= output_port < self.n_ports:
+                    raise ValueError(
+                        f"input {input_port} requests bad output {output_port}"
+                    )

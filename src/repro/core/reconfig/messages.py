@@ -1,0 +1,58 @@
+"""Messages of the three-phase reconfiguration algorithm.
+
+All four ride in :class:`~repro.net.cell.CellKind.RECONFIG` control cells
+between adjacent switches.  Every message carries the epoch tag of the
+reconfiguration it belongs to; receivers discard messages from superseded
+tags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet
+
+from repro.core.reconfig.epoch import EpochTag
+from repro.net.topology import Edge
+
+
+@dataclass(frozen=True)
+class Invitation:
+    """Propagation phase: "it invites each of its neighbors to join the
+    tree".
+
+    ``depth`` is the inviter's depth in the propagation-order tree; it
+    rides along so each switch learns its own depth, letting the E4
+    benchmark compare the propagation-order tree against a true
+    breadth-first tree (the paper: "the tree obtained is usually very
+    close to a breadth-first tree").
+    """
+
+    tag: EpochTag
+    depth: int = 0
+
+
+@dataclass(frozen=True)
+class InvitationAck:
+    """"Each invitation is acknowledged with an indication of whether it
+    was accepted or declined."""
+
+    tag: EpochTag
+    accepted: bool
+
+
+@dataclass(frozen=True)
+class TopologyReport:
+    """Collection phase: the subtree's union of locally-known edges,
+    passed from child to parent."""
+
+    tag: EpochTag
+    edges: FrozenSet[Edge]
+
+
+@dataclass(frozen=True)
+class TopologyDistribute:
+    """Distribution phase: the complete topology, passed from parent to
+    children."""
+
+    tag: EpochTag
+    edges: FrozenSet[Edge]

@@ -1,0 +1,61 @@
+"""Multicast virtual circuits.
+
+Section 1 notes their existence without detail: "(There are also
+multicast virtual circuits, but they will not be discussed here.)"  We
+implement the natural design for the AN2 architecture:
+
+- **setup** generalizes the unicast setup cell: the request carries a
+  *set* of destination hosts; each switch groups the destinations by
+  their next hop (each branch independently obeying up*/down*), installs
+  a fanout entry (one input, several outputs), and forwards one setup
+  per branch with that branch's destination subset -- the union of the
+  per-destination paths forms the multicast tree;
+- **data** cells are replicated at fanout switches into the per-branch
+  VC queues; each branch is credit-flow-controlled independently (the
+  copies compete for crossbar slots like any best-effort cell);
+- **buffering**: an arriving cell occupies one input buffer until its
+  *last* copy has crossed the crossbar -- a shared
+  :class:`FanoutToken` counts the outstanding branches, and the credit
+  returns upstream only when the token drains (so the upstream window
+  reflects true buffer occupancy).
+
+Reroute/paging do not apply to fanout entries in this release (they
+skip them), mirroring the paper's choice to leave multicast aside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet
+
+from repro._types import NodeId, VcId
+
+
+@dataclass(frozen=True)
+class MulticastSetupRequest:
+    """The multicast setup cell: one VC, many destinations."""
+
+    vc: VcId
+    source: NodeId
+    destinations: FrozenSet[NodeId]
+    gone_down: bool = False
+    hop_count: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.destinations:
+            raise ValueError("multicast setup needs at least one destination")
+
+
+@dataclass
+class FanoutToken:
+    """Shared by the copies of one cell at one fanout switch: the input
+    buffer is freed (and the credit returned) when the last copy leaves."""
+
+    remaining: int
+
+    def branch_departed(self) -> bool:
+        """Returns True when this was the final outstanding branch."""
+        if self.remaining <= 0:
+            raise ValueError("fanout token over-drained")
+        self.remaining -= 1
+        return self.remaining == 0

@@ -1,0 +1,75 @@
+"""Circuit paging: reclaiming the resources of idle circuits.
+
+Section 2: "A second optimization allows reclamation of resources, such
+as buffers, that are associated with an idle virtual circuit.  Switch
+software could 'page out' a circuit by releasing its buffers, removing it
+from the routing table, and notifying the downstream switch of this
+action.  The downstream switch could then page it out as well.  If
+further cells for the circuit subsequently arrived, it could be 'paged
+in' by generating a setup cell to recreate the circuit."
+
+The mechanics (releasing state, the PageOut notification, and the
+cell-triggered page-in) live in :class:`~repro.switch.switch.AN2Switch`;
+this module provides the *policy*: a daemon that periodically scans a
+switch for idle circuits and pages them out.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro._types import VcId
+from repro.switch.switch import AN2Switch
+
+
+class PagingDaemon:
+    """Periodically pages out circuits idle longer than a threshold."""
+
+    def __init__(
+        self,
+        switch: AN2Switch,
+        idle_threshold_us: float = 50_000.0,
+        scan_interval_us: float = 25_000.0,
+    ) -> None:
+        if idle_threshold_us <= 0 or scan_interval_us <= 0:
+            raise ValueError("thresholds must be positive")
+        self.switch = switch
+        self.idle_threshold_us = idle_threshold_us
+        self.scan_interval_us = scan_interval_us
+        self.pages_initiated = 0
+        self._running = False
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.switch.sim.schedule(self.scan_interval_us, self._scan)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _scan(self) -> None:
+        if not self._running:
+            return
+        for vc in self.scan_once():
+            pass
+        self.switch.sim.schedule(self.scan_interval_us, self._scan)
+
+    def scan_once(self) -> List[VcId]:
+        """One scan pass; returns the circuits paged out."""
+        paged: List[VcId] = []
+        for vc in self.switch.idle_circuits(self.idle_threshold_us):
+            if self.switch.page_out(vc):
+                paged.append(vc)
+                self.pages_initiated += 1
+        return paged
+
+
+def buffers_reclaimed(switch: AN2Switch) -> int:
+    """Best-effort buffer cells currently *not* pinned by paged-in
+    circuits: the benefit metric for the E13 benchmark."""
+    pinned = 0
+    for card in switch.cards:
+        for state in card.downstream.values():
+            pinned += state.allocation
+    return pinned

@@ -1,0 +1,59 @@
+"""Variable-length packets -- the host's view of the network.
+
+Section 1: "it is more convenient for host software to deal with larger
+data units, such as the variable-length packets supported by ethernet and
+AN1.  In AN2 a host presents packets to its controller, which disassembles
+them into cells...  The controller at the receiving host will re-assemble
+the cells into packets."
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro._types import NodeId
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """A host-level packet.
+
+    ``payload`` is arbitrary bytes; ``size`` may exceed ``len(payload)``
+    when callers want to model a large packet without materialising its
+    bytes (the segmenter then pads with zeros conceptually -- only the
+    byte count matters to the simulation).
+    """
+
+    source: NodeId
+    destination: NodeId
+    payload: bytes = b""
+    size: Optional[int] = None
+    created_at: float = 0.0
+    delivered_at: Optional[float] = None
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        if self.size is None:
+            self.size = len(self.payload)
+        if self.size < len(self.payload):
+            raise ValueError(
+                f"packet size {self.size} smaller than payload "
+                f"({len(self.payload)} bytes)"
+            )
+
+    @property
+    def latency(self) -> float:
+        """End-to-end latency in microseconds (requires delivery)."""
+        if self.delivered_at is None:
+            raise ValueError(f"packet #{self.uid} not delivered yet")
+        return self.delivered_at - self.created_at
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Packet#{self.uid} {self.source}->{self.destination} "
+            f"{self.size}B>"
+        )

@@ -1,0 +1,186 @@
+"""Measurement probes: counters, tallies, and time series.
+
+The benchmark harness reports latency percentiles, throughput, buffer
+occupancy peaks, message counts, and reconfiguration durations; these small
+accumulators are used throughout the switch and network models to collect
+them without coupling the models to any particular experiment.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Tally:
+    """Sample accumulator with mean / variance / percentiles.
+
+    Stores all samples; the simulations in this library produce at most a
+    few million samples per tally, which is fine in memory and lets us
+    report exact percentiles.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._samples: List[float] = []
+        self._sorted: Optional[List[float]] = None
+
+    def record(self, value: float) -> None:
+        self._samples.append(value)
+        self._sorted = None
+
+    def extend(self, values: Sequence[float]) -> None:
+        self._samples.extend(values)
+        self._sorted = None
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def total(self) -> float:
+        return math.fsum(self._samples)
+
+    @property
+    def mean(self) -> float:
+        if not self._samples:
+            raise ValueError(f"tally {self.name!r} has no samples")
+        return self.total / len(self._samples)
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 with fewer than two samples)."""
+        n = len(self._samples)
+        if n < 2:
+            return 0.0
+        mean = self.mean
+        return math.fsum((x - mean) ** 2 for x in self._samples) / (n - 1)
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        if not self._samples:
+            raise ValueError(f"tally {self.name!r} has no samples")
+        return min(self._samples)
+
+    @property
+    def maximum(self) -> float:
+        if not self._samples:
+            raise ValueError(f"tally {self.name!r} has no samples")
+        return max(self._samples)
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0 <= p <= 100), nearest-rank method."""
+        if not self._samples:
+            raise ValueError(f"tally {self.name!r} has no samples")
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile {p} out of range")
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        if p == 0:
+            return self._sorted[0]
+        rank = math.ceil(p / 100 * len(self._sorted))
+        return self._sorted[rank - 1]
+
+    def samples(self) -> List[float]:
+        """A copy of the raw samples."""
+        return list(self._samples)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        if not self._samples:
+            return f"Tally({self.name!r}, empty)"
+        return f"Tally({self.name!r}, n={self.count}, mean={self.mean:.4g})"
+
+
+class TimeSeries:
+    """(time, value) pairs, e.g. buffer occupancy over time."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._points: List[Tuple[float, float]] = []
+
+    def record(self, time: float, value: float) -> None:
+        if self._points and time < self._points[-1][0]:
+            raise ValueError(
+                f"time series {self.name!r}: non-monotonic time {time}"
+            )
+        self._points.append((time, value))
+
+    @property
+    def count(self) -> int:
+        return len(self._points)
+
+    def points(self) -> List[Tuple[float, float]]:
+        return list(self._points)
+
+    def values(self) -> List[float]:
+        return [v for _, v in self._points]
+
+    def maximum(self) -> float:
+        if not self._points:
+            raise ValueError(f"time series {self.name!r} is empty")
+        return max(v for _, v in self._points)
+
+    def time_average(self) -> float:
+        """Time-weighted average, holding each value until the next point."""
+        if len(self._points) < 2:
+            raise ValueError(f"time series {self.name!r} needs >= 2 points")
+        area = 0.0
+        for (t0, v0), (t1, _) in zip(self._points, self._points[1:]):
+            area += v0 * (t1 - t0)
+        span = self._points[-1][0] - self._points[0][0]
+        if span == 0:
+            return self._points[0][1]
+        return area / span
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"TimeSeries({self.name!r}, n={self.count})"
+
+
+class ProbeSet:
+    """A named registry of probes, one per component instance."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.tallies: Dict[str, Tally] = {}
+        self.series: Dict[str, TimeSeries] = {}
+
+    def counter(self, name: str) -> Counter:
+        probe = self.counters.get(name)
+        if probe is None:
+            probe = self.counters[name] = Counter(name)
+        return probe
+
+    def tally(self, name: str) -> Tally:
+        probe = self.tallies.get(name)
+        if probe is None:
+            probe = self.tallies[name] = Tally(name)
+        return probe
+
+    def time_series(self, name: str) -> TimeSeries:
+        probe = self.series.get(name)
+        if probe is None:
+            probe = self.series[name] = TimeSeries(name)
+        return probe

@@ -1,0 +1,202 @@
+"""Generator-based cooperative processes.
+
+The paper describes "software running on the line-card processors" that
+handles faults, reconfiguration, and circuit setup.  We model each such
+piece of software as a :class:`Process`: a Python generator driven by the
+simulator.  A process yields *wait requests*:
+
+- ``Timeout(delay)`` -- resume after ``delay`` microseconds,
+- a :class:`Signal` -- resume when the signal fires (receiving its value).
+
+Processes can be interrupted (:meth:`Process.interrupt`), which raises
+:class:`Interrupted` inside the generator -- this is how a line card aborts
+its participation in a superseded reconfiguration epoch.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.sim.kernel import Event, Simulator
+
+ProcessGenerator = Generator[Any, Any, Any]
+
+
+class Interrupted(Exception):
+    """Raised inside a process generator when it is interrupted."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Timeout:
+    """Wait request: resume the process after ``delay`` microseconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout {delay}")
+        self.delay = delay
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Timeout({self.delay})"
+
+
+class Signal:
+    """A broadcast condition that processes can wait on.
+
+    ``fire(value)`` wakes every currently-waiting process, delivering
+    ``value`` as the result of its ``yield``.  Later waiters block until the
+    next ``fire``.  Signals can also be observed through plain callbacks via
+    :meth:`subscribe`.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._waiters: List[Callable[[Any], None]] = []
+        self._subscribers: List[Callable[[Any], None]] = []
+        self.fire_count = 0
+        self.last_value: Any = None
+
+    def subscribe(self, callback: Callable[[Any], None]) -> None:
+        """Invoke ``callback(value)`` on every future fire."""
+        self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[Any], None]) -> None:
+        self._subscribers.remove(callback)
+
+    def fire(self, value: Any = None) -> None:
+        """Wake all waiting processes and notify subscribers."""
+        self.fire_count += 1
+        self.last_value = value
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            waiter(value)
+        for subscriber in list(self._subscribers):
+            subscriber(value)
+
+    def _add_waiter(self, callback: Callable[[Any], None]) -> None:
+        self._waiters.append(callback)
+
+    def _remove_waiter(self, callback: Callable[[Any], None]) -> bool:
+        try:
+            self._waiters.remove(callback)
+            return True
+        except ValueError:
+            return False
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Signal {self.name!r} waiters={len(self._waiters)}>"
+
+
+class Process:
+    """Drives a generator as a simulated process.
+
+    The generator may yield :class:`Timeout` or :class:`Signal` instances.
+    ``yield`` evaluates to the signal's fired value (or ``None`` after a
+    timeout).  When the generator returns, :attr:`done` becomes ``True`` and
+    :attr:`result` holds its return value; :attr:`finished` (a
+    :class:`Signal`) fires with that value, so processes can wait on each
+    other.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        generator: ProcessGenerator,
+        name: str = "process",
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.done = False
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self.finished = Signal(f"{name}.finished")
+        self._generator = generator
+        self._pending_event: Optional[Event] = None
+        self._pending_signal: Optional[Tuple[Signal, Callable[[Any], None]]] = None
+        # Start on the next kernel tick so construction order does not matter.
+        sim.schedule(0.0, self._resume, None)
+
+    # ------------------------------------------------------------------
+    def interrupt(self, cause: Any = None) -> None:
+        """Raise :class:`Interrupted` inside the process at its wait point."""
+        if self.done:
+            return
+        self._clear_waits()
+        self.sim.schedule(0.0, self._throw, Interrupted(cause))
+
+    def _clear_waits(self) -> None:
+        if self._pending_event is not None:
+            self._pending_event.cancel()
+            self._pending_event = None
+        if self._pending_signal is not None:
+            signal, waiter = self._pending_signal
+            signal._remove_waiter(waiter)
+            self._pending_signal = None
+
+    # ------------------------------------------------------------------
+    def _resume(self, value: Any) -> None:
+        if self.done:
+            return
+        self._pending_event = None
+        self._pending_signal = None
+        try:
+            request = self._generator.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        self._wait_on(request)
+
+    def _throw(self, exc: BaseException) -> None:
+        if self.done:
+            return
+        try:
+            request = self._generator.throw(exc)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except Interrupted:
+            # The process let the interruption terminate it.
+            self._finish(None)
+            return
+        self._wait_on(request)
+
+    def _wait_on(self, request: Any) -> None:
+        if isinstance(request, Timeout):
+            self._pending_event = self.sim.schedule(
+                request.delay, self._resume, None
+            )
+        elif isinstance(request, Signal):
+            def waiter(value: Any) -> None:
+                # Resume via the kernel so all wakeups at a fire are ordered.
+                self._pending_signal = None
+                self.sim.schedule(0.0, self._resume, value)
+
+            self._pending_signal = (request, waiter)
+            request._add_waiter(waiter)
+        elif isinstance(request, Process):
+            if request.done:
+                self.sim.schedule(0.0, self._resume, request.result)
+            else:
+                self._wait_on(request.finished)
+        else:
+            raise TypeError(
+                f"process {self.name!r} yielded unsupported {request!r}"
+            )
+
+    def _finish(self, result: Any) -> None:
+        self.done = True
+        self.result = result
+        self.finished.fire(result)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "done" if self.done else "running"
+        return f"<Process {self.name!r} {state}>"
+
+
+def spawn(sim: Simulator, generator: ProcessGenerator, name: str = "process") -> Process:
+    """Convenience wrapper: ``spawn(sim, gen())`` starts a process."""
+    return Process(sim, generator, name=name)

@@ -1,0 +1,51 @@
+"""The crossbar: AN2's internal switching fabric.
+
+"Transmission from input to output takes place across a 16x16 crossbar.
+The crossbar operates synchronously, routing up to 16 cells in parallel
+during each time slot" (section 1).  The class is a thin synchronous
+wrapper around a pluggable matcher; it exists so the switch's composition
+mirrors the hardware (line cards around a crossbar) and so the E2
+iteration statistics can be collected in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Set
+
+from repro.core.matching.pim import MatchResult, Matching
+from repro.sim.monitor import Tally
+
+
+class Crossbar:
+    """A synchronous NxN crossbar scheduled by ``matcher``."""
+
+    def __init__(self, n_ports: int, matcher) -> None:
+        self.n_ports = n_ports
+        self.matcher = matcher
+        self.slots = 0
+        self.cells_transferred = 0
+        self.guaranteed_transferred = 0
+        self.iterations_to_maximal = Tally("crossbar.iterations_to_maximal")
+
+    def schedule(
+        self,
+        requests: Sequence[Set[int]],
+        pre_matched: Optional[Matching] = None,
+    ) -> MatchResult:
+        """One slot's matching decision (the transfer itself is performed
+        by the switch, which owns the buffers)."""
+        result = self.matcher.match(requests, pre_matched=pre_matched)
+        self.slots += 1
+        if result.iterations_to_maximal is not None:
+            self.iterations_to_maximal.record(result.iterations_to_maximal)
+        return result
+
+    def note_transfer(self, guaranteed: bool = False) -> None:
+        self.cells_transferred += 1
+        if guaranteed:
+            self.guaranteed_transferred += 1
+
+    def utilization(self) -> float:
+        if self.slots == 0:
+            return 0.0
+        return self.cells_transferred / (self.slots * self.n_ports)

@@ -1,0 +1,81 @@
+"""Line cards: the per-port intelligence of an AN2 switch.
+
+"An AN2 switch contains up to 16 line cards...  The line card contains a
+processor, buffers for incoming cells, memory for routing tables, logic
+for buffer and crossbar management, and optical devices" (section 1).
+
+A :class:`LineCard` aggregates, for one port:
+
+- the routing table for circuits *arriving* on this port,
+- per-VC random-access input buffers (best-effort) and the guaranteed
+  buffer pool,
+- the *downstream* credit state for circuits arriving here (these are the
+  buffers the upstream node holds credits for),
+- the *upstream* credit state for circuits departing through this port
+  (our credits for the next switch's buffers),
+- the link monitor and skeptic for the attached cable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro._types import VcId
+from repro.core.flowcontrol.credits import DownstreamCredits, UpstreamCredits
+from repro.core.flowcontrol.resync import ResyncState
+from repro.core.reconfig.monitor import PortMonitor
+from repro.core.reconfig.skeptic import Skeptic
+from repro.net.port import Port
+from repro.switch.buffers import GuaranteedQueues, VcQueues
+from repro.switch.routing_table import RoutingTable
+
+
+class LineCard:
+    """One port's buffers, tables, credit state, and monitor."""
+
+    def __init__(self, port: Port, pending_cap: int = 1024) -> None:
+        self.port = port
+        self.index = port.index
+        self.routing_table = RoutingTable(pending_cap=pending_cap)
+        self.vc_queues = VcQueues()
+        self.guaranteed_queues = GuaranteedQueues()
+        #: circuits arriving on this card: their buffers, credited to the
+        #: upstream neighbor.
+        self.downstream: Dict[VcId, DownstreamCredits] = {}
+        #: circuits departing through this card: our credit balances for
+        #: the downstream neighbor's buffers.
+        self.upstream: Dict[VcId, UpstreamCredits] = {}
+        self.resync: Dict[VcId, ResyncState] = {}
+        self.monitor: Optional[PortMonitor] = None
+        self.skeptic: Optional[Skeptic] = None
+        self.cells_dropped = 0
+        self.cells_forwarded = 0
+
+    # ------------------------------------------------------------------
+    def ensure_downstream(self, vc: VcId, allocation: int) -> DownstreamCredits:
+        state = self.downstream.get(vc)
+        if state is None:
+            state = self.downstream[vc] = DownstreamCredits(allocation)
+        return state
+
+    def ensure_upstream(self, vc: VcId, allocation: int) -> UpstreamCredits:
+        state = self.upstream.get(vc)
+        if state is None:
+            state = self.upstream[vc] = UpstreamCredits(allocation)
+            self.resync[vc] = ResyncState(vc, state)
+        return state
+
+    def release_vc(self, vc: VcId) -> int:
+        """Free all state for a circuit; returns cells discarded."""
+        discarded = len(self.vc_queues.drain_vc(vc))
+        self.downstream.pop(vc, None)
+        self.upstream.pop(vc, None)
+        self.resync.pop(vc, None)
+        self.routing_table.remove(vc)
+        return discarded
+
+    def buffered_cells(self) -> int:
+        return self.vc_queues.occupancy + self.guaranteed_queues.occupancy
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<LineCard {self.port.label} buf={self.buffered_cells()}>"

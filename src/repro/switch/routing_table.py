@@ -1,0 +1,100 @@
+"""Per-line-card routing tables.
+
+"The line card contains a routing table that maps the cell's virtual
+circuit id to the port on which the cell should leave the switch"
+(section 2).  Entries also retain the originating setup request so the
+extensions (page-out/page-in, local reroute) can regenerate setup cells
+without consulting the circuit's source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional
+
+from repro._types import VcId
+from repro.core.routing.signaling import SetupRequest
+from repro.net.cell import Cell
+
+
+@dataclass
+class RouteEntry:
+    """One circuit's state on the line card it *arrives* at.
+
+    Unicast circuits use ``out_port``; multicast fanout entries also
+    carry ``out_ports`` (and keep ``out_port`` as their lowest branch
+    for display/compatibility).
+    """
+
+    vc: VcId
+    out_port: int
+    request: SetupRequest
+    installed_at: float = 0.0
+    cells_forwarded: int = 0
+    last_activity: float = 0.0
+    out_ports: Optional[FrozenSet[int]] = None
+
+    @property
+    def is_multicast(self) -> bool:
+        return self.out_ports is not None and len(self.out_ports) > 1
+
+
+class RoutingTable:
+    """VC id -> route entry, plus the awaiting-setup cell buffer.
+
+    "If [cells] arrive at a switch before the virtual circuit is
+    established there, they will be buffered until the routing table
+    entry is filled in."
+    """
+
+    def __init__(self, pending_cap: int = 1024) -> None:
+        self._entries: Dict[VcId, RouteEntry] = {}
+        self._pending: Dict[VcId, List[Cell]] = {}
+        #: circuits paged out on this card (section 2 extension): the
+        #: retained setup request lets a later cell page them back in.
+        self.paged: Dict[VcId, SetupRequest] = {}
+        self.pending_cap = pending_cap
+        self.pending_drops = 0
+
+    # ------------------------------------------------------------------
+    def lookup(self, vc: VcId) -> Optional[RouteEntry]:
+        return self._entries.get(vc)
+
+    def __contains__(self, vc: VcId) -> bool:
+        return vc in self._entries
+
+    def entries(self) -> List[RouteEntry]:
+        return list(self._entries.values())
+
+    def install(
+        self, vc: VcId, out_port: int, request: SetupRequest, now: float
+    ) -> RouteEntry:
+        entry = RouteEntry(
+            vc=vc,
+            out_port=out_port,
+            request=request,
+            installed_at=now,
+            last_activity=now,
+        )
+        self._entries[vc] = entry
+        return entry
+
+    def remove(self, vc: VcId) -> Optional[RouteEntry]:
+        self._pending.pop(vc, None)
+        return self._entries.pop(vc, None)
+
+    # ------------------------------------------------------------------
+    def buffer_pending(self, vc: VcId, cell: Cell) -> bool:
+        """Hold a cell that beat its setup cell here.  False if dropped."""
+        queue = self._pending.setdefault(vc, [])
+        if len(queue) >= self.pending_cap:
+            self.pending_drops += 1
+            return False
+        queue.append(cell)
+        return True
+
+    def take_pending(self, vc: VcId) -> List[Cell]:
+        return self._pending.pop(vc, [])
+
+    def pending_count(self, vc: VcId) -> int:
+        return len(self._pending.get(vc, []))

@@ -1,0 +1,53 @@
+"""Constant-bit-rate sources and jitter measurement for guaranteed VCs.
+
+Guaranteed streams model the paper's multi-media motivation: a source
+producing cells at exactly its reserved rate.  The host controller's
+pacer enforces the rate ("The network controller prevents a host from
+sending more than its reserved bandwidth"); the source just keeps the
+circuit's queue non-empty for the duration of the stream.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro._types import VcId
+from repro.net.host import Host
+
+
+class CbrSource:
+    """Feeds a guaranteed circuit for a fixed number of cells."""
+
+    def __init__(self, host: Host, vc: VcId) -> None:
+        self.host = host
+        self.vc = vc
+        self.cells_requested = 0
+
+    def stream(self, cells: int) -> None:
+        """Queue ``cells`` single-cell payloads; the pacer spaces them at
+        the reserved rate."""
+        if cells <= 0:
+            raise ValueError(f"cells must be positive, got {cells}")
+        self.cells_requested += cells
+        self.host.send_raw_cells(self.vc, cells)
+
+
+def interarrival_jitter(arrivals: List[float]) -> Optional[float]:
+    """Max deviation of inter-arrival times from their mean, in us.
+
+    The receiver-side jitter metric for CBR streams; ``None`` with fewer
+    than three arrivals.
+    """
+    if len(arrivals) < 3:
+        return None
+    gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+    mean_gap = sum(gaps) / len(gaps)
+    return max(abs(g - mean_gap) for g in gaps)
+
+
+def latency_jitter(latencies: List[float]) -> Optional[float]:
+    """Spread between the fastest and slowest cell: the delay-variation
+    the p*(2f+l) analysis bounds."""
+    if len(latencies) < 2:
+        return None
+    return max(latencies) - min(latencies)

@@ -1,0 +1,92 @@
+"""Tests for the credit resynchronization protocol."""
+
+import pytest
+
+from repro.core.flowcontrol.credits import DownstreamCredits, UpstreamCredits
+from repro.core.flowcontrol.resync import ResyncReply, ResyncRequest, ResyncState
+
+
+def lose_credits(upstream, downstream, sent, forwarded, lost):
+    """Drive a little history: ``sent`` cells, ``forwarded`` freed,
+    ``lost`` of those credits never arrive."""
+    for _ in range(sent):
+        upstream.consume()
+    for _ in range(forwarded):
+        downstream.receive()
+        downstream.free()
+    for _ in range(forwarded - lost):
+        upstream.credit()
+
+
+def test_recovery_after_lost_credit():
+    upstream = UpstreamCredits(5)
+    downstream = DownstreamCredits(5)
+    state = ResyncState(7, upstream)
+    lose_credits(upstream, downstream, sent=4, forwarded=4, lost=2)
+    assert upstream.balance == 3  # two credits lost
+
+    request = state.make_request()
+    assert request == ResyncRequest(7, 4)
+    reply = ResyncReply(7, request.cells_sent, downstream.buffers_freed)
+    recovered = state.apply_reply(reply)
+    assert recovered == 2
+    assert upstream.balance == 5
+    assert state.credits_recovered == 2
+
+
+def test_stale_reply_discarded():
+    """If the upstream sent more cells after the request snapshot, the
+    reply must not be applied (it would over-credit)."""
+    upstream = UpstreamCredits(5)
+    downstream = DownstreamCredits(5)
+    state = ResyncState(7, upstream)
+    request = state.make_request()
+    upstream.consume()  # race: a cell departs after the snapshot
+    reply = ResyncReply(7, request.cells_sent, 0)
+    assert state.apply_reply(reply) == 0
+    assert upstream.balance == 4  # unchanged by the stale reply
+
+
+def test_noop_when_nothing_lost():
+    upstream = UpstreamCredits(3)
+    downstream = DownstreamCredits(3)
+    state = ResyncState(1, upstream)
+    lose_credits(upstream, downstream, sent=2, forwarded=2, lost=0)
+    reply = ResyncReply(1, state.make_request().cells_sent, downstream.buffers_freed)
+    assert state.apply_reply(reply) == 0
+    assert upstream.balance == 3
+
+
+def test_cells_still_buffered_downstream_counted():
+    """Cells sitting in the downstream buffer are not credited back."""
+    upstream = UpstreamCredits(4)
+    downstream = DownstreamCredits(4)
+    state = ResyncState(2, upstream)
+    for _ in range(3):
+        upstream.consume()
+        downstream.receive()
+    downstream.free()  # only one forwarded; its credit is lost
+    request = state.make_request()
+    reply = ResyncReply(2, request.cells_sent, downstream.buffers_freed)
+    assert state.apply_reply(reply) == 1
+    # 3 sent, 1 freed -> 2 still buffered -> balance = 4 - 2 = 2.
+    assert upstream.balance == 2
+
+
+def test_wrong_vc_rejected():
+    state = ResyncState(2, UpstreamCredits(2))
+    with pytest.raises(ValueError):
+        state.apply_reply(ResyncReply(3, 0, 0))
+
+
+def test_repeated_resync_idempotent():
+    upstream = UpstreamCredits(5)
+    downstream = DownstreamCredits(5)
+    state = ResyncState(7, upstream)
+    lose_credits(upstream, downstream, sent=2, forwarded=2, lost=1)
+    for _ in range(3):
+        request = state.make_request()
+        reply = ResyncReply(7, request.cells_sent, downstream.buffers_freed)
+        state.apply_reply(reply)
+    assert upstream.balance == 5
+    assert state.credits_recovered == 1

@@ -1,0 +1,88 @@
+"""Tests for Hopcroft-Karp maximum matching."""
+
+import itertools
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.matching.analysis import is_legal_matching
+from repro.core.matching.maximum import MaximumMatcher, hopcroft_karp
+
+
+def brute_force_maximum(n, requests):
+    """Exact maximum by trying all injective assignments (tiny n only)."""
+    best = 0
+    inputs = [i for i in range(n) if requests[i]]
+    for size in range(len(inputs), 0, -1):
+        for subset in itertools.combinations(inputs, size):
+            for outputs in itertools.permutations(range(n), size):
+                if all(
+                    o in requests[i] for i, o in zip(subset, outputs)
+                ):
+                    return size
+    return best
+
+
+def test_empty():
+    assert hopcroft_karp(4, [set()] * 4) == {}
+
+
+def test_perfect_permutation():
+    matching = hopcroft_karp(4, [{1}, {2}, {3}, {0}])
+    assert matching == {0: 1, 1: 2, 2: 3, 3: 0}
+
+
+def test_augmenting_path_needed():
+    # input0 -> {0,1}, input1 -> {0}: greedy 0->0 must be augmented.
+    matching = hopcroft_karp(2, [{0, 1}, {0}])
+    assert len(matching) == 2
+    assert matching[1] == 0
+
+
+def test_paper_starvation_pattern_unique_maximum():
+    """Input 1 wants outputs 2 and 3; input 4 wants output 3: the unique
+    maximum pairs 1->2 and 4->3 every time (section 3's example)."""
+    requests = [set() for _ in range(16)]
+    requests[1] = {2, 3}
+    requests[4] = {3}
+    matching = hopcroft_karp(16, requests)
+    assert matching == {1: 2, 4: 3}
+
+
+def test_matcher_facade_with_pre_matched():
+    matcher = MaximumMatcher(4)
+    result = matcher.match([{1, 2}, {2}, set(), set()], pre_matched={3: 2})
+    assert result.matching[3] == 2
+    assert result.matching[0] == 1
+    assert is_legal_matching(
+        [{1, 2}, {2}, set(), {2}], {k: v for k, v in result.matching.items() if k != 3}
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    requests=st.lists(
+        st.sets(st.integers(min_value=0, max_value=4), max_size=5),
+        min_size=5,
+        max_size=5,
+    )
+)
+def test_matches_brute_force_size(requests):
+    matching = hopcroft_karp(5, requests)
+    assert is_legal_matching(requests, matching)
+    assert len(matching) == brute_force_maximum(5, requests)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=10),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_legal_on_random_graphs(n, seed):
+    rng = random.Random(seed)
+    requests = [
+        {o for o in range(n) if rng.random() < 0.4} for _ in range(n)
+    ]
+    matching = hopcroft_karp(n, requests)
+    assert is_legal_matching(requests, matching)

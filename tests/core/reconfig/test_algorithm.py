@@ -1,0 +1,257 @@
+"""Unit tests for the reconfiguration agent over an in-memory transport.
+
+These drive the three-phase algorithm directly -- no switches, links, or
+monitors -- so the protocol logic (epoch ordering, aborts, declines,
+watchdogs) can be exercised deterministically, including with message
+loss and adversarial timing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+import pytest
+
+from repro._types import NodeId, switch_id
+from repro.core.reconfig.algorithm import ReconfigurationAgent
+from repro.core.reconfig.epoch import GENESIS, EpochTag
+from repro.net.topology import Edge, Topology, TopologyView
+from repro.sim.kernel import Simulator
+
+
+class FakeBus:
+    """An in-memory network of agents wired per a Topology description."""
+
+    def __init__(self, topology: Topology, delay_us: float = 10.0) -> None:
+        self.sim = Simulator()
+        self.delay_us = delay_us
+        self.agents: Dict[NodeId, ReconfigurationAgent] = {}
+        self.transports: Dict[NodeId, "FakeTransport"] = {}
+        self.dropped_edges: Set[Edge] = set()
+        # (node, port) -> (peer node, peer port), from the ground truth.
+        self.wiring: Dict[Tuple[NodeId, int], Tuple[NodeId, int]] = {}
+        for (na, pa), (nb, pb) in topology.view().edges:
+            self.wiring[(na, pa)] = (nb, pb)
+            self.wiring[(nb, pb)] = (na, pa)
+        self.view = topology.view()
+        for node in topology.switches():
+            transport = FakeTransport(self, node)
+            self.transports[node] = transport
+            agent = ReconfigurationAgent(
+                self.sim, node, transport, watchdog_us=5_000.0
+            )
+            self.agents[node] = agent
+
+    def edges_of(self, node: NodeId) -> Set[Edge]:
+        return {
+            edge
+            for edge in self.view.edges
+            if edge not in self.dropped_edges
+            and node in (edge[0][0], edge[1][0])
+        }
+
+    def switch_ports(self, node: NodeId) -> List[int]:
+        ports = []
+        for (na, pa), (nb, pb) in self.view.edges:
+            if ((na, pa), (nb, pb)) in self.dropped_edges:
+                continue
+            if na == node and nb.is_switch:
+                ports.append(pa)
+            elif nb == node and na.is_switch:
+                ports.append(pb)
+        return sorted(ports)
+
+    def deliver(self, sender: NodeId, port: int, message) -> None:
+        peer = self.wiring.get((sender, port))
+        if peer is None:
+            return
+        edge_a, edge_b = (sender, port), peer
+        edge = (edge_a, edge_b) if edge_a <= edge_b else (edge_b, edge_a)
+        if edge in self.dropped_edges:
+            return  # dead link loses the message
+        node, peer_port = peer
+        self.sim.schedule(
+            self.delay_us, self.agents[node].handle, peer_port, message
+        )
+
+    def drop_edge_between(self, a: NodeId, b: NodeId) -> None:
+        for edge in self.view.edges:
+            (na, _), (nb, _) = edge
+            if {na, nb} == {a, b}:
+                self.dropped_edges.add(edge)
+
+    def all_done_same_view(self) -> bool:
+        agents = self.agents.values()
+        if any(a.active for a in agents):
+            return False
+        views = {a.view for a in agents}
+        tags = {a.view_tag for a in agents}
+        return len(views) == 1 and len(tags) == 1 and None not in tags
+
+
+class FakeTransport:
+    def __init__(self, bus: FakeBus, node: NodeId) -> None:
+        self.bus = bus
+        self.node = node
+
+    def reconfig_ports(self) -> List[int]:
+        return self.bus.switch_ports(self.node)
+
+    def local_edges(self) -> Set[Edge]:
+        return self.bus.edges_of(self.node)
+
+    def send_reconfig(self, port_index: int, message) -> None:
+        self.bus.deliver(self.node, port_index, message)
+
+
+def test_single_switch_completes_alone():
+    topo = Topology()
+    topo.add_switch(0)
+    bus = FakeBus(topo)
+    agent = bus.agents[switch_id(0)]
+    tag = agent.trigger()
+    bus.sim.run()
+    assert agent.view == TopologyView(frozenset())
+    assert agent.view_tag == tag
+    assert agent.tree_depth == 0
+
+
+def test_two_switches_agree():
+    topo = Topology.line(2)
+    bus = FakeBus(topo)
+    bus.agents[switch_id(0)].trigger()
+    bus.sim.run(until=4_000.0)
+    assert bus.all_done_same_view()
+    assert bus.agents[switch_id(0)].view == topo.view()
+
+
+def test_all_switches_learn_full_topology():
+    topo = Topology.grid(3, 3)
+    bus = FakeBus(topo)
+    bus.agents[switch_id(4)].trigger()
+    bus.sim.run(until=4_500.0)
+    assert bus.all_done_same_view()
+    for agent in bus.agents.values():
+        assert agent.view == topo.view()
+
+
+def test_initiator_is_root_and_depths_consistent():
+    topo = Topology.line(5)
+    bus = FakeBus(topo)
+    bus.agents[switch_id(0)].trigger()
+    bus.sim.run(until=4_500.0)
+    assert bus.agents[switch_id(0)].tree_depth == 0
+    # On a line the propagation tree *is* the line: depth = distance.
+    for i in range(5):
+        assert bus.agents[switch_id(i)].tree_depth == i
+
+
+def test_larger_tag_supersedes():
+    topo = Topology.line(3)
+    bus = FakeBus(topo)
+    bus.agents[switch_id(0)].trigger()  # e1@s0
+    bus.agents[switch_id(2)].trigger()  # e1@s2 > e1@s0
+    bus.sim.run(until=4_500.0)
+    assert bus.all_done_same_view()
+    tag = bus.agents[switch_id(0)].view_tag
+    assert tag == EpochTag(1, switch_id(2)) or tag.epoch > 1
+
+
+def test_many_simultaneous_triggers_converge():
+    topo = Topology.grid(3, 4)
+    bus = FakeBus(topo)
+    for agent in bus.agents.values():
+        agent.trigger()
+    bus.sim.run(until=4_000.0)
+    assert bus.all_done_same_view()
+    for agent in bus.agents.values():
+        assert agent.view == topo.view()
+
+
+def test_staggered_triggers_converge():
+    topo = Topology.grid(2, 4)
+    bus = FakeBus(topo)
+    for index, agent in enumerate(bus.agents.values()):
+        bus.sim.schedule(index * 7.0, agent.trigger)
+    bus.sim.run(until=4_000.0)
+    assert bus.all_done_same_view()
+
+
+def test_trigger_during_active_reconfig_aborts_it():
+    topo = Topology.line(4)
+    bus = FakeBus(topo, delay_us=50.0)
+    bus.agents[switch_id(0)].trigger()
+    # While propagation is under way, s3 notices something and triggers.
+    bus.sim.schedule(75.0, bus.agents[switch_id(3)].trigger)
+    bus.sim.run(until=5_500.0)
+    assert bus.all_done_same_view()
+    assert bus.agents[switch_id(3)].stats.initiated == 1
+    # s3 triggered before s0's invitation reached it, so both used epoch
+    # 1 -- and the switch-id tie-break makes s3's configuration win.
+    assert bus.agents[switch_id(0)].view_tag == EpochTag(1, switch_id(3))
+    # s0's own configuration was aborted when s3's invitation arrived.
+    assert bus.agents[switch_id(0)].stats.aborted >= 1
+
+
+def test_declined_invitations_are_acked():
+    topo = Topology.ring(4)
+    bus = FakeBus(topo)
+    bus.agents[switch_id(0)].trigger()
+    bus.sim.run(until=4_000.0)
+    assert bus.all_done_same_view()
+    # Root invites 2 neighbors; s1 and s3 invite their other neighbor;
+    # whichever of them reaches s2 first makes s2 its child, and s2
+    # invites back across the remaining ring edge -- 5 invitations, of
+    # which the one crossing the cycle-closing edge is declined.
+    total_invites = sum(a.stats.invitations_sent for a in bus.agents.values())
+    assert total_invites == 5
+    children = sum(
+        1 for a in bus.agents.values() if a.parent_port is not None
+    )
+    assert children == 3  # tree over 4 nodes: one declined invitation
+
+
+def test_stored_tag_survives_completion():
+    topo = Topology.line(2)
+    bus = FakeBus(topo)
+    bus.agents[switch_id(0)].trigger()
+    bus.sim.run(until=4_000.0)
+    first_tag = bus.agents[switch_id(0)].view_tag
+    bus.agents[switch_id(0)].trigger()
+    bus.sim.run(until=8_000.0)
+    assert bus.agents[switch_id(0)].view_tag.epoch == first_tag.epoch + 1
+
+
+def test_lost_messages_recovered_by_watchdog():
+    """Kill a link mid-propagation: the invitation is lost, the epoch
+    stalls, and the watchdog starts a fresh one that succeeds on the
+    surviving topology."""
+    topo = Topology.ring(4)
+    bus = FakeBus(topo, delay_us=20.0)
+    # Cut s1-s2 immediately, so invitations across it vanish, but the
+    # agents have not noticed any state change (no monitor here).
+    bus.drop_edge_between(switch_id(1), switch_id(2))
+    bus.agents[switch_id(0)].trigger()
+    bus.sim.run(until=30_000.0)
+    assert bus.all_done_same_view()
+    # The final view must exclude the dropped edge.
+    final = bus.agents[switch_id(0)].view
+    assert len(final.edges) == 3
+
+
+def test_genesis_tag_is_floor():
+    topo = Topology()
+    topo.add_switch(0)
+    bus = FakeBus(topo)
+    agent = bus.agents[switch_id(0)]
+    assert agent.stored_tag == GENESIS
+    tag = agent.trigger()
+    assert tag.epoch == 1
+
+
+def test_unknown_message_type_rejected():
+    topo = Topology()
+    topo.add_switch(0)
+    bus = FakeBus(topo)
+    with pytest.raises(TypeError):
+        bus.agents[switch_id(0)].handle(0, "garbage")

@@ -1,0 +1,43 @@
+"""Tests for epoch tags."""
+
+from repro._types import switch_id
+from repro.core.reconfig.epoch import GENESIS, EpochTag
+
+
+def test_ordering_by_epoch_first():
+    low = EpochTag(1, switch_id(99))
+    high = EpochTag(2, switch_id(0))
+    assert low < high
+
+
+def test_ties_broken_by_switch_id():
+    a = EpochTag(3, switch_id(1))
+    b = EpochTag(3, switch_id(2))
+    assert a < b
+    assert max(a, b) == b
+
+
+def test_successor_increments_epoch():
+    tag = EpochTag(5, switch_id(1))
+    successor = tag.successor(switch_id(9))
+    assert successor.epoch == 6
+    assert successor.initiator == switch_id(9)
+    assert successor > tag
+
+
+def test_genesis_precedes_everything_real():
+    assert GENESIS < EpochTag(1, switch_id(0))
+    assert GENESIS.successor(switch_id(0)) > GENESIS
+
+
+def test_total_order_is_strict():
+    tags = [
+        EpochTag(e, switch_id(s)) for e in range(3) for s in range(3)
+    ]
+    ordered = sorted(tags)
+    for a, b in zip(ordered, ordered[1:]):
+        assert a < b
+
+
+def test_str_rendering():
+    assert str(EpochTag(4, switch_id(7))) == "e4@s7"

@@ -1,0 +1,99 @@
+"""Reconfiguration under random message loss.
+
+The paper's liveness story is layered: lost protocol messages stall an
+epoch, but the underlying failure that lost them is eventually published
+by the monitors (or caught by the watchdog), triggering a fresh epoch
+that supersedes the stalled one.  Here we drop reconfiguration messages
+*randomly* (not tied to any link failure, the nastiest case) and require
+eventual convergence to the correct topology purely through watchdog
+supersession.
+"""
+
+import random
+from typing import List
+
+import pytest
+
+from repro._types import switch_id
+from repro.core.reconfig.algorithm import ReconfigurationAgent
+from repro.net.topology import Topology
+from tests.core.reconfig.test_algorithm import FakeBus
+
+
+class LossyBus(FakeBus):
+    """FakeBus that drops each delivery with probability ``loss``
+    during the lossy window, then becomes reliable."""
+
+    def __init__(self, topology, loss, rng, lossy_until=2_000.0, **kwargs):
+        super().__init__(topology, **kwargs)
+        self.loss = loss
+        self.rng = rng
+        self.lossy_until = lossy_until
+        self.messages_dropped = 0
+
+    def deliver(self, sender, port, message):
+        if (
+            self.sim.now < self.lossy_until
+            and self.rng.random() < self.loss
+        ):
+            self.messages_dropped += 1
+            return
+        super().deliver(sender, port, message)
+
+
+@pytest.mark.parametrize("loss", [0.05, 0.2, 0.5])
+def test_convergence_despite_message_loss(loss):
+    for seed in range(3):
+        rng = random.Random(seed * 100 + int(loss * 100))
+        topo = Topology.random_connected(8, extra_edges=6, rng=rng)
+        bus = LossyBus(topo, loss=loss, rng=rng, delay_us=15.0)
+        for agent in bus.agents.values():
+            agent.trigger()
+        # Watchdogs fire at 5 ms in the FakeBus; give several rounds.
+        bus.sim.run(until=200_000.0)
+        assert bus.all_done_same_view(), (
+            f"loss={loss} seed={seed}: "
+            f"{[(str(a.node_id), a.active, str(a.stored_tag)) for a in bus.agents.values()]}"
+        )
+        for agent in bus.agents.values():
+            assert agent.view == topo.view()
+        if loss > 0:
+            assert bus.messages_dropped > 0
+
+
+def test_loss_of_every_message_kind_tolerated():
+    """Surgically drop exactly one message of each kind and confirm the
+    watchdog recovers each time."""
+    from repro.core.reconfig.messages import (
+        Invitation,
+        InvitationAck,
+        TopologyDistribute,
+        TopologyReport,
+    )
+
+    for victim_kind in (
+        Invitation,
+        InvitationAck,
+        TopologyReport,
+        TopologyDistribute,
+    ):
+        topo = Topology.grid(2, 2)
+        bus = FakeBus(topo, delay_us=10.0)
+        dropped: List[str] = []
+        original = bus.deliver
+
+        def deliver(sender, port, message, _orig=original, _kind=victim_kind):
+            if isinstance(message, _kind) and not dropped:
+                dropped.append(type(message).__name__)
+                return
+            _orig(sender, port, message)
+
+        bus.deliver = deliver
+        for transport in bus.transports.values():
+            transport.bus = bus  # transports call bus.deliver via self.bus
+        bus.agents[switch_id(0)].trigger()
+        bus.sim.run(until=100_000.0)
+        assert dropped == [victim_kind.__name__]
+        assert bus.all_done_same_view(), f"stalled after dropping {dropped}"
+        for agent in bus.agents.values():
+            assert agent.view == topo.view()

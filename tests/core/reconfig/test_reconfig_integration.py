@@ -1,0 +1,170 @@
+"""Network-level reconfiguration: boot, failure, recovery, scale."""
+
+import random
+
+import pytest
+
+from repro._types import switch_id
+from repro.constants import RECONFIGURATION_BUDGET_US
+from repro.net.network import Network
+from repro.net.topology import Topology
+from tests.conftest import converged_line, fast_switch_config
+
+
+def make_net(topo, seed=1, **overrides):
+    net = Network(topo, seed=seed, switch_config=fast_switch_config(**overrides))
+    net.start()
+    return net
+
+
+class TestBootConvergence:
+    @pytest.mark.parametrize(
+        "topo_factory",
+        [
+            lambda: Topology.line(4),
+            lambda: Topology.ring(5),
+            lambda: Topology.grid(3, 3),
+            lambda: Topology.star(5),
+        ],
+        ids=["line", "ring", "grid", "star"],
+    )
+    def test_all_switches_learn_ground_truth(self, topo_factory):
+        topo = topo_factory()
+        net = make_net(topo)
+        net.run_until_converged(timeout_us=500_000)
+        assert net.converged_view() == net.expected_view()
+
+    def test_random_topologies_converge(self):
+        for seed in range(4):
+            topo = Topology.random_connected(
+                10, extra_edges=5, rng=random.Random(seed)
+            )
+            net = make_net(topo, seed=seed)
+            net.run_until_converged(timeout_us=500_000)
+            assert net.converged_view() == net.expected_view()
+
+    def test_boot_well_under_budget(self):
+        """The 200 ms AN1 budget, at SRC scale (simulated)."""
+        topo = Topology.src_lan(n_switches=10, n_hosts=10, rng=random.Random(2))
+        net = make_net(topo, seed=3)
+        elapsed = net.run_until_converged(timeout_us=RECONFIGURATION_BUDGET_US)
+        assert elapsed < RECONFIGURATION_BUDGET_US
+
+
+class TestFailureReconfiguration:
+    def test_link_failure_removes_edge_from_views(self):
+        net = make_net(Topology.grid(2, 3))
+        net.run_until_converged(timeout_us=500_000)
+        net.fail_link("s0", "s1")
+        net.run_until(net.fully_reconfigured, timeout_us=300_000)
+        view = net.converged_view()
+        assert view == net.expected_view_for(net.main_component_switches())
+
+    def test_switch_crash_reconfigures_survivors(self):
+        net = make_net(Topology.grid(3, 3))
+        net.run_until_converged(timeout_us=500_000)
+        t0 = net.now
+        net.crash_switch("s4")  # the center switch
+        net.run_until(net.fully_reconfigured, timeout_us=300_000)
+        elapsed = net.now - t0
+        assert elapsed < RECONFIGURATION_BUDGET_US
+        survivors = net.main_component_switches()
+        assert switch_id(4) not in survivors
+        assert len(survivors) == 8
+
+    def test_partition_leaves_consistent_fragments(self):
+        """Cutting a line in half leaves two self-consistent views."""
+        net = make_net(Topology.line(4))
+        net.run_until_converged(timeout_us=500_000)
+        net.fail_link("s1", "s2")
+        left_expected = net.expected_view_for([switch_id(0), switch_id(1)])
+        right_expected = net.expected_view_for([switch_id(2), switch_id(3)])
+        net.run_until(
+            lambda: net.converged()
+            and net.switch("s0").reconfig.view == left_expected
+            and net.switch("s2").reconfig.view == right_expected,
+            timeout_us=300_000,
+        )
+        assert net.switch("s1").reconfig.view == left_expected
+        assert net.switch("s3").reconfig.view == right_expected
+        assert left_expected != right_expected
+
+    def test_repeated_failures_and_recoveries(self):
+        net = make_net(Topology.grid(2, 3))
+        net.run_until_converged(timeout_us=500_000)
+        for trial in range(3):
+            net.fail_link("s1", "s2")
+            net.run_until(net.fully_reconfigured, timeout_us=400_000)
+            net.restore_link("s1", "s2")
+            net.run_until(net.fully_reconfigured, timeout_us=800_000)
+            assert net.converged_view() == net.expected_view()
+
+    def test_restore_is_skeptic_gated(self):
+        net = make_net(Topology.ring(4))
+        net.run_until_converged(timeout_us=500_000)
+        net.fail_link("s0", "s1")
+        net.run_until(net.fully_reconfigured, timeout_us=300_000)
+        t0 = net.now
+        net.restore_link("s0", "s1")
+        net.run_until(
+            lambda: net.fully_reconfigured()
+            and len(net.converged_view().edges) == 4,
+            timeout_us=800_000,
+        )
+        assert net.now - t0 >= net.switch_config.skeptic_base_wait_us
+
+
+class TestTreeShape:
+    def test_propagation_tree_depth_close_to_bfs(self):
+        """Section 2: "the tree obtained is usually very close to a
+        breadth-first tree"."""
+        topo = Topology.grid(4, 4)
+        net = make_net(topo)
+        net.run_until_converged(timeout_us=500_000)
+        root = net.reconfig_root()
+        # BFS depths over ground truth:
+        from collections import deque
+
+        adjacency = {}
+        for (na, _), (nb, _) in topo.view().edges:
+            if na.is_switch and nb.is_switch:
+                adjacency.setdefault(na, []).append(nb)
+                adjacency.setdefault(nb, []).append(na)
+        depth = {root: 0}
+        queue = deque([root])
+        while queue:
+            node = queue.popleft()
+            for neighbor in adjacency[node]:
+                if neighbor not in depth:
+                    depth[neighbor] = depth[node] + 1
+                    queue.append(neighbor)
+        max_bfs = max(depth.values())
+        max_tree = max(
+            s.reconfig.tree_depth for s in net.switches.values()
+        )
+        assert max_tree <= 2 * max_bfs  # near-BFS in practice
+
+
+class TestFlappingLink:
+    def test_flapping_does_not_livelock_network(self):
+        """A link that flaps rapidly triggers a bounded number of
+        reconfigurations thanks to the skeptic."""
+        net = converged_line(3)
+        link = net.link_between("s0", "s1")
+        completions_before = sum(
+            s.reconfig.stats.completions for s in net.switches.values()
+        )
+        # Flap 10 times over 40 ms.
+        for i in range(10):
+            net.sim.schedule(i * 4_000.0, link.fail)
+            net.sim.schedule(i * 4_000.0 + 2_000.0, link.restore)
+        net.run(120_000)
+        completions_after = sum(
+            s.reconfig.stats.completions for s in net.switches.values()
+        )
+        # Without the skeptic each flap would force 2 network-wide
+        # reconfigurations (~60 completions over 3 switches); the skeptic
+        # compresses the burst into a handful.
+        assert completions_after - completions_before <= 24
+        # And the network ends up consistent once things settle.
+        net.run_until(net.fully_reconfigured, timeout_us=2_000_000)

@@ -1,0 +1,101 @@
+"""Property-based reconfiguration tests: random graphs, random trigger
+schedules, random delays -- convergence and agreement must always hold."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._types import switch_id
+from repro.net.topology import Topology
+from tests.core.reconfig.test_algorithm import FakeBus
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_switches=st.integers(min_value=2, max_value=12),
+    extra_edges=st.integers(min_value=0, max_value=10),
+    n_triggers=st.integers(min_value=1, max_value=6),
+)
+def test_random_trigger_schedules_converge(
+    seed, n_switches, extra_edges, n_triggers
+):
+    rng = random.Random(seed)
+    topo = Topology.random_connected(n_switches, extra_edges, rng=rng)
+    bus = FakeBus(topo, delay_us=rng.uniform(1.0, 40.0))
+    for _ in range(n_triggers):
+        victim = rng.randrange(n_switches)
+        at = rng.uniform(0.0, 500.0)
+        bus.sim.schedule(at, bus.agents[switch_id(victim)].trigger, )
+    bus.sim.run(until=500_000.0)
+    assert bus.all_done_same_view()
+    for agent in bus.agents.values():
+        assert agent.view == topo.view()
+        # The winning tag's epoch never exceeds the number of triggers
+        # plus watchdog restarts; sanity-bound it.
+        assert agent.view_tag.epoch <= n_triggers + 12
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_switches=st.integers(min_value=3, max_value=10),
+)
+def test_sequential_reconfigurations_monotone_epochs(seed, n_switches):
+    """Back-to-back reconfigurations produce strictly increasing tags,
+    and each one converges before its own watchdog horizon."""
+    rng = random.Random(seed)
+    topo = Topology.random_connected(n_switches, n_switches // 2, rng=rng)
+    bus = FakeBus(topo, delay_us=10.0)
+    tags = []
+    for round_index in range(3):
+        victim = rng.randrange(n_switches)
+        bus.agents[switch_id(victim)].trigger()
+        bus.sim.run(until=bus.sim.now + 4_000.0)
+        assert bus.all_done_same_view()
+        tags.append(bus.agents[switch_id(0)].view_tag)
+    assert tags[0] < tags[1] < tags[2]
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_initiator_becomes_root_when_unopposed(seed):
+    rng = random.Random(seed)
+    topo = Topology.random_connected(8, 5, rng=rng)
+    bus = FakeBus(topo, delay_us=10.0)
+    initiator = switch_id(rng.randrange(8))
+    bus.agents[initiator].trigger()
+    bus.sim.run(until=100_000.0)
+    assert bus.all_done_same_view()
+    assert bus.agents[initiator].parent_port is None
+    assert bus.agents[initiator].tree_depth == 0
+    # Exactly one root.
+    roots = [
+        a for a in bus.agents.values() if a.parent_port is None
+    ]
+    assert roots == [bus.agents[initiator]]
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_tree_edges_form_spanning_tree(seed):
+    """Parent/child relations after convergence form a spanning tree of
+    the switch graph: n-1 child links, all consistent."""
+    rng = random.Random(seed)
+    topo = Topology.random_connected(9, 6, rng=rng)
+    bus = FakeBus(topo, delay_us=10.0)
+    bus.agents[switch_id(0)].trigger()
+    bus.sim.run(until=100_000.0)
+    assert bus.all_done_same_view()
+    children_total = sum(
+        len(agent._children) for agent in bus.agents.values()
+    )
+    assert children_total == len(bus.agents) - 1
+    # Depths are consistent with parenthood: every non-root's depth is
+    # positive and at most n-1.
+    for agent in bus.agents.values():
+        if agent.parent_port is None:
+            assert agent.tree_depth == 0
+        else:
+            assert 1 <= agent.tree_depth <= len(bus.agents) - 1

@@ -1,0 +1,193 @@
+"""Tests for the section-2 extensions: circuit paging, local reroute,
+and the speculative load balancer."""
+
+import pytest
+
+from repro._types import host_id, switch_id
+from repro.core.routing.load_balance import LoadBalancer
+from repro.core.routing.paging import PagingDaemon
+from repro.core.routing.reroute import circuits_crossing, installed_path
+from repro.net.network import Network
+from repro.net.packet import Packet
+from repro.net.topology import Topology
+from tests.conftest import fast_host_config, fast_switch_config, line_with_hosts
+
+
+def paging_net(**overrides):
+    net = line_with_hosts(3, enable_paging=True, paging_idle_us=5_000.0, **overrides)
+    net.start()
+    net.run_until_converged(timeout_us=500_000)
+    return net
+
+
+class TestPaging:
+    def test_idle_circuit_paged_out_and_back_in(self):
+        net = paging_net()
+        circuit = net.setup_circuit("h0", "h1")
+        h0, h1 = net.host("h0"), net.host("h1")
+        h0.send_packet(
+            circuit.vc,
+            Packet(source=host_id(0), destination=host_id(1), payload=b"one"),
+        )
+        net.run(30_000)
+        assert len(h1.delivered) == 1
+        # Let it idle, then page out at s0.
+        s0 = net.switch("s0")
+        net.run(20_000)
+        assert s0.page_out(circuit.vc)
+        assert circuit.vc not in s0._vc_in_port
+        assert s0.stats.page_outs == 1
+        # Downstream cascade (s1, s2 idle too).
+        net.run(5_000)
+        assert net.switch("s1").stats.page_outs + net.switch("s2").stats.page_outs >= 1
+        # New traffic pages it back in transparently.
+        h0.send_packet(
+            circuit.vc,
+            Packet(source=host_id(0), destination=host_id(1), payload=b"two"),
+        )
+        net.run(60_000)
+        assert [p.payload for p in h1.delivered] == [b"one", b"two"]
+        assert s0.stats.page_ins == 1
+
+    def test_daemon_pages_idle_circuits(self):
+        net = paging_net()
+        circuit = net.setup_circuit("h0", "h1")
+        net.host("h0").send_packet(
+            circuit.vc,
+            Packet(source=host_id(0), destination=host_id(1), payload=b"x"),
+        )
+        net.run(10_000)
+        daemon = PagingDaemon(
+            net.switch("s0"), idle_threshold_us=5_000.0, scan_interval_us=2_000.0
+        )
+        daemon.start()
+        net.run(20_000)
+        assert daemon.pages_initiated >= 1
+        assert circuit.vc not in net.switch("s0")._vc_in_port
+
+    def test_active_circuit_not_paged(self):
+        net = paging_net()
+        circuit = net.setup_circuit("h0", "h1")
+        daemon = PagingDaemon(
+            net.switch("s0"), idle_threshold_us=1e9, scan_interval_us=2_000.0
+        )
+        daemon.start()
+        net.host("h0").send_packet(
+            circuit.vc,
+            Packet(source=host_id(0), destination=host_id(1), payload=b"y"),
+        )
+        net.run(30_000)
+        assert daemon.pages_initiated == 0
+        assert len(net.host("h1").delivered) == 1
+
+    def test_daemon_validation(self):
+        net = paging_net()
+        with pytest.raises(ValueError):
+            PagingDaemon(net.switch("s0"), idle_threshold_us=0.0)
+
+
+def diamond_net(**overrides):
+    """h0 - s0 - {s1 | s2} - s3 - h1: two disjoint core paths."""
+    topo = Topology()
+    for i in range(4):
+        topo.add_switch(i)
+    topo.connect("s0", "s1")
+    topo.connect("s1", "s3")
+    topo.connect("s0", "s2")
+    topo.connect("s2", "s3")
+    topo.add_host(0)
+    topo.add_host(1)
+    topo.connect("h0", "s0", port_a=0, bps=622_000_000)
+    topo.connect("h1", "s3", port_a=0, bps=622_000_000)
+    net = Network(
+        topo,
+        seed=7,
+        switch_config=fast_switch_config(enable_local_reroute=True, **overrides),
+        host_config=fast_host_config(),
+    )
+    net.start()
+    net.run_until_converged(timeout_us=500_000)
+    return net
+
+
+class TestLocalReroute:
+    def test_circuit_rerouted_around_failed_link(self):
+        net = diamond_net()
+        circuit = net.setup_circuit("h0", "h1")
+        path_before = installed_path(net, circuit.vc, host_id(0))
+        mid_before = path_before[2]  # the core switch used
+        other = switch_id(2) if mid_before == switch_id(1) else switch_id(1)
+        net.fail_link("s0", str(mid_before))
+        # Wait for detection + reroute.
+        net.run_until(
+            lambda: net.switch("s0").stats.reroutes >= 1, timeout_us=100_000
+        )
+        net.run(20_000)
+        path_after = installed_path(net, circuit.vc, host_id(0))
+        assert other in path_after
+        # Traffic flows on the new path.
+        net.host("h0").send_packet(
+            circuit.vc,
+            Packet(source=host_id(0), destination=host_id(1), payload=b"rerouted"),
+        )
+        net.run(60_000)
+        assert [p.payload for p in net.host("h1").delivered] == [b"rerouted"]
+
+    def test_unaffected_circuits_untouched(self):
+        net = diamond_net()
+        a = net.setup_circuit("h0", "h1")
+        b = net.setup_circuit("h0", "h1")
+        paths = {
+            vc: installed_path(net, vc, host_id(0))[2] for vc in (a.vc, b.vc)
+        }
+        # Find a core link used by exactly one of them, if they diverge;
+        # otherwise fail the unused path's link and assert nothing breaks.
+        used = set(paths.values())
+        unused_mid = (
+            (switch_id(1) if switch_id(2) in used else switch_id(2))
+            if len(used) == 1
+            else None
+        )
+        if unused_mid is not None:
+            net.fail_link("s0", str(unused_mid))
+            net.run(50_000)
+            assert net.switch("s0").stats.reroutes == 0
+            crossing, clear = circuits_crossing(net, switch_id(0), unused_mid)
+            assert crossing == []
+            assert set(clear) >= {a.vc, b.vc}
+
+    def test_broken_counted_when_no_detour(self):
+        net = line_with_hosts(3, enable_local_reroute=True)
+        net.start()
+        net.run_until_converged(timeout_us=500_000)
+        circuit = net.setup_circuit("h0", "h1")
+        net.fail_link("s1", "s2")  # no alternative on a line
+        net.run_until(
+            lambda: net.switch("s1").stats.broken_circuits >= 1,
+            timeout_us=100_000,
+        )
+
+
+class TestLoadBalancer:
+    def test_hot_link_triggers_migration(self):
+        net = diamond_net()
+        circuits = [net.setup_circuit("h0", "h1") for _ in range(4)]
+        # All circuits take the same (widest/deterministic) core path at
+        # setup; saturate them so the shared core link runs hot.
+        balancer = LoadBalancer(
+            net, interval_us=5_000.0, high_watermark=0.3, cooldown_us=10_000.0
+        )
+        balancer.start()
+        for circuit in circuits:
+            net.host("h0").send_raw_cells(circuit.vc, 3_000)
+        net.run(60_000)
+        assert balancer.migrations >= 1
+        mids = {
+            installed_path(net, c.vc, host_id(0))[2] for c in circuits
+        }
+        assert len(mids) == 2  # circuits now spread over both core paths
+
+    def test_watermark_validation(self):
+        net = diamond_net()
+        with pytest.raises(ValueError):
+            LoadBalancer(net, high_watermark=0.0)

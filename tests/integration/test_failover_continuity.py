@@ -1,0 +1,104 @@
+"""Dual-homed host failover with automatic circuit re-establishment.
+
+Section 1: "Each host has links to two different switches.  Only one
+link is in active use at any time; the other is an alternate to be used
+if the first fails."
+"""
+
+import pytest
+
+from repro._types import host_id
+from repro.net.network import Network
+from repro.net.packet import Packet
+from repro.net.topology import Topology
+from tests.conftest import fast_host_config, fast_switch_config
+
+
+def dual_homed_net(auto_reopen=True, seed=41):
+    topo = Topology.grid(2, 2)
+    topo.add_host(0)
+    topo.add_host(1)
+    topo.connect("h0", "s0", port_a=0, bps=622_000_000)
+    topo.connect("h0", "s2", port_a=1, bps=622_000_000)
+    topo.connect("h1", "s3", port_a=0, bps=622_000_000)
+    topo.connect("h1", "s1", port_a=1, bps=622_000_000)
+    net = Network(
+        topo,
+        seed=seed,
+        switch_config=fast_switch_config(),
+        host_config=fast_host_config(auto_reopen_on_failover=auto_reopen),
+    )
+    net.start()
+    net.run_until_converged(timeout_us=500_000)
+    return net
+
+
+def test_traffic_resumes_after_primary_link_death():
+    net = dual_homed_net()
+    circuit = net.setup_circuit("h0", "h1")
+    h0, h1 = net.host("h0"), net.host("h1")
+
+    h0.send_packet(
+        circuit.vc,
+        Packet(source=host_id(0), destination=host_id(1), size=480),
+    )
+    net.run(100_000)
+    assert len(h1.delivered) == 1
+
+    net.fail_link("h0", "s0")
+    net.run_until(lambda: h0.active_port_index == 1, timeout_us=100_000)
+    # The host re-emitted setup over the alternate; give it time to
+    # install along the new path, then send again.
+    net.run(20_000)
+    h0.send_packet(
+        circuit.vc,
+        Packet(source=host_id(0), destination=host_id(1), size=480),
+    )
+    net.run(200_000)
+    assert len(h1.delivered) == 2
+    assert h1.reassembly_errors == 0
+
+
+def test_queued_cells_survive_failover():
+    """Cells still queued at the controller when the link dies follow the
+    new path (only cells in flight on the dead link are lost)."""
+    net = dual_homed_net(seed=43)
+    circuit = net.setup_circuit("h0", "h1")
+    h0, h1 = net.host("h0"), net.host("h1")
+    # Queue a large packet, then kill the primary link immediately: most
+    # cells are still in the controller.
+    h0.send_packet(
+        circuit.vc,
+        Packet(source=host_id(0), destination=host_id(1), size=48 * 200),
+    )
+    net.fail_link("h0", "s0")
+    net.run(400_000)
+    # Either the whole packet made it pre-detection (unlikely at this
+    # size) or its tail crossed the new path; a clean delivery OR a
+    # single reassembly error are the only acceptable outcomes --
+    # never silence.
+    assert (len(h1.delivered) + h1.reassembly_errors) >= 1
+    # A fresh packet always gets through.
+    h0.send_packet(
+        circuit.vc,
+        Packet(source=host_id(0), destination=host_id(1), size=480),
+    )
+    net.run(200_000)
+    assert any(p.size == 480 for p in h1.delivered)
+
+
+def test_manual_mode_requires_explicit_reopen():
+    net = dual_homed_net(auto_reopen=False, seed=44)
+    circuit = net.setup_circuit("h0", "h1")
+    h0, h1 = net.host("h0"), net.host("h1")
+    net.fail_link("h0", "s0")
+    net.run_until(lambda: h0.active_port_index == 1, timeout_us=100_000)
+    net.run(20_000)
+    h0.send_packet(
+        circuit.vc,
+        Packet(source=host_id(0), destination=host_id(1), size=96),
+    )
+    net.run(150_000)
+    # Without auto-reopen the new first-hop switch saw no setup cell:
+    # cells sit in its pending buffer and nothing is delivered.
+    assert len(h1.delivered) == 0

@@ -1,0 +1,112 @@
+"""Guaranteed and best-effort traffic sharing switches (sections 3-5)."""
+
+import pytest
+
+from repro._types import host_id
+from repro.constants import FAST_CELL_TIME_US
+from repro.core.guaranteed.latency import guaranteed_latency_bound_us
+from repro.net.network import Network
+from repro.net.packet import Packet
+from repro.net.topology import Topology
+from tests.conftest import fast_host_config, fast_switch_config
+
+
+def four_host_line(seed=21, **overrides):
+    topo = Topology.line(3)
+    for h in range(4):
+        topo.add_host(h)
+    topo.connect("h0", "s0", port_a=0, bps=622_000_000)
+    topo.connect("h1", "s2", port_a=0, bps=622_000_000)
+    topo.connect("h2", "s0", port_a=0, bps=622_000_000)
+    topo.connect("h3", "s2", port_a=0, bps=622_000_000)
+    net = Network(
+        topo,
+        seed=seed,
+        switch_config=fast_switch_config(**overrides),
+        host_config=fast_host_config(),
+    )
+    net.start()
+    net.run_until_converged(timeout_us=500_000)
+    return net
+
+
+def test_guaranteed_latency_respected_despite_best_effort_flood():
+    """CBR cells keep their p*(2f+l) bound while a best-effort flood
+    shares every trunk link."""
+    net = four_host_line()
+    cbr, reservation = net.reserve_bandwidth("h0", "h1", 8)
+    net.run(2_000)
+    flood = net.setup_circuit("h2", "h3")
+
+    net.host("h0").send_raw_cells(cbr.vc, 100)
+    for _ in range(30):
+        net.host("h2").send_packet(
+            flood.vc,
+            Packet(source=host_id(2), destination=host_id(3), size=48 * 40),
+        )
+    net.run(600_000)
+
+    h1 = net.host("h1")
+    assert h1.cells_received >= 100
+    frame_time = net.switch_config.frame_slots * FAST_CELL_TIME_US
+    bound = guaranteed_latency_bound_us(
+        reservation.path_length, frame_time, 1.0
+    )
+    assert h1.cell_latency[cbr.vc].maximum <= bound
+    # And the flood itself completed without loss.
+    assert len(net.host("h3").delivered) == 30
+
+
+def test_best_effort_uses_unreserved_and_unused_reserved_slots():
+    """With a reservation present but its source idle, best-effort
+    traffic still gets through at full rate (section 4: best-effort cells
+    can use an allocated slot if no guaranteed cell is present)."""
+    net = four_host_line()
+    cbr, _ = net.reserve_bandwidth("h0", "h1", 16)  # half the 32-slot frame
+    net.run(2_000)
+    flow = net.setup_circuit("h2", "h3")
+    t0 = net.now
+    for _ in range(10):
+        net.host("h2").send_packet(
+            flow.vc,
+            Packet(source=host_id(2), destination=host_id(3), size=48 * 20),
+        )
+    net.run(400_000)
+    assert len(net.host("h3").delivered) == 10
+    # The idle reservation must not have starved the flow: effective
+    # throughput stays well above the unreserved half of the link.
+    h3 = net.host("h3")
+    span = max(p.delivered_at for p in h3.delivered) - t0
+    cells = 10 * 20
+    cell_rate = cells / span  # cells per us
+    full_rate = 1 / FAST_CELL_TIME_US
+    assert cell_rate > 0.5 * full_rate * 0.5  # comfortably above starvation
+
+
+def test_concurrent_cbr_streams_all_meet_rate():
+    net = four_host_line()
+    streams = []
+    central = net.bandwidth_central()
+    for pair in (("h0", "h1"), ("h2", "h3")):
+        circuit, reservation = net.reserve_bandwidth(
+            pair[0], pair[1], 4, central=central
+        )
+        streams.append((pair, circuit, reservation))
+    net.run(2_000)
+    for (src, _), circuit, _ in streams:
+        net.host(src).send_raw_cells(circuit.vc, 50)
+    net.run(600_000)
+    for (_, dst), circuit, _ in streams:
+        arrivals = net.host(dst).cell_arrivals.get(circuit.vc, [])
+        assert len(arrivals) == 50
+
+
+def test_admission_denial_protects_existing_streams():
+    from repro.core.guaranteed.bandwidth_central import ReservationDenied
+
+    net = four_host_line()
+    central = net.bandwidth_central()
+    net.reserve_bandwidth("h0", "h1", 20, central=central)
+    # The shared trunk has 32-slot frames: 20 + 20 > 32 must be denied.
+    with pytest.raises(ReservationDenied):
+        net.reserve_bandwidth("h2", "h3", 20, central=central)

@@ -1,0 +1,100 @@
+"""Mixed link speeds: 155 Mb/s host links behind 622 Mb/s trunks.
+
+Section 1: "Link bandwidth is higher, at 622 megabits-per-second (155
+megabit-per-second links are also provided, e.g. for connecting a host
+to a switch)."  The last-hop switch must pace a fast crossbar onto a
+4x-slower output link without losing cells -- the credit window throttles
+the upstream naturally.
+"""
+
+import pytest
+
+from repro._types import host_id
+from repro.constants import SLOW_LINK_BPS
+from repro.net.network import Network
+from repro.net.packet import Packet
+from repro.net.topology import Topology
+from tests.conftest import fast_host_config, fast_switch_config
+
+
+def mixed_speed_net(seed=88):
+    topo = Topology.line(2)
+    topo.add_host(0)
+    topo.add_host(1)
+    # Default host-link speed: 155 Mb/s (the Topology default).
+    topo.connect("h0", "s0", port_a=0)
+    topo.connect("h1", "s1", port_a=0)
+    net = Network(
+        topo,
+        seed=seed,
+        switch_config=fast_switch_config(),
+        host_config=fast_host_config(),
+    )
+    net.start()
+    net.run_until_converged(timeout_us=500_000)
+    return net
+
+
+def test_speeds_assigned_from_topology():
+    net = mixed_speed_net()
+    assert net.link_between("h0", "s0").bps == SLOW_LINK_BPS
+    assert net.link_between("s0", "s1").bps != SLOW_LINK_BPS
+
+
+def test_bulk_transfer_lossless_across_speed_mismatch():
+    net = mixed_speed_net()
+    circuit = net.setup_circuit("h0", "h1")
+    for _ in range(5):
+        net.host("h0").send_packet(
+            circuit.vc,
+            Packet(source=host_id(0), destination=host_id(1), size=48 * 60),
+        )
+    net.run(2_000_000)
+    h1 = net.host("h1")
+    assert len(h1.delivered) == 5
+    assert h1.reassembly_errors == 0
+    assert net.total_cells_dropped() == 0
+    # No buffer ever overflowed at the slow egress.
+    for switch in net.switches.values():
+        for card in switch.cards:
+            for downstream in card.downstream.values():
+                assert downstream.overflows == 0
+
+
+def test_slow_egress_limits_throughput_not_correctness():
+    net = mixed_speed_net()
+    circuit = net.setup_circuit("h0", "h1")
+    cells = 300
+    t0 = net.now
+    net.host("h0").send_packet(
+        circuit.vc,
+        Packet(source=host_id(0), destination=host_id(1), size=48 * cells),
+    )
+    net.run_until(
+        lambda: net.host("h1").cells_received >= cells,
+        timeout_us=10_000_000,
+        check_interval_us=50.0,
+    )
+    elapsed = net.now - t0
+    slow_cell_time = 53 * 8 / SLOW_LINK_BPS * 1e6  # ~2.7 us
+    # Can't beat the slow link; shouldn't be much worse either.
+    assert elapsed >= cells * slow_cell_time * 0.9
+    assert elapsed <= cells * slow_cell_time * 2.0
+
+
+def test_guaranteed_respects_slow_link_capacity():
+    """Bandwidth central scales a 155 Mb/s link to a quarter of the
+    frame's cells."""
+    from repro.core.guaranteed.bandwidth_central import ReservationDenied
+
+    from repro.constants import FAST_LINK_BPS
+
+    net = mixed_speed_net()
+    central = net.bandwidth_central()
+    capacity = int(
+        net.switch_config.frame_slots * SLOW_LINK_BPS / FAST_LINK_BPS
+    )
+    assert capacity < net.switch_config.frame_slots // 2
+    with pytest.raises(ReservationDenied):
+        net.reserve_bandwidth("h0", "h1", capacity + 1, central=central)
+    net.reserve_bandwidth("h0", "h1", capacity, central=central)

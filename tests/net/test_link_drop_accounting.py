@@ -1,0 +1,46 @@
+"""Data-vs-control drop accounting on dead links."""
+
+from repro._types import switch_id
+from repro.net.cell import Cell, CellKind
+from repro.net.link import Link
+from repro.sim.kernel import Simulator
+from tests.net.test_link_port import RecordingNode
+
+
+def test_data_drops_counted_separately():
+    sim = Simulator()
+    a = RecordingNode(sim, switch_id(0))
+    b = RecordingNode(sim, switch_id(1))
+    link = Link(sim, a.port(0), b.port(0))
+    link.fail()
+    a.port(0).send(Cell(vc=1, kind=CellKind.DATA))
+    a.port(0).send(Cell(vc=0, kind=CellKind.PING))
+    a.port(0).send(Cell(vc=0, kind=CellKind.CREDIT))
+    sim.run()
+    assert link.cells_dropped == 3
+    assert link.data_cells_dropped == 1
+
+
+def test_in_flight_data_drop_counted():
+    sim = Simulator()
+    a = RecordingNode(sim, switch_id(0))
+    b = RecordingNode(sim, switch_id(1))
+    link = Link(sim, a.port(0), b.port(0), length_km=10.0)
+    a.port(0).send(Cell(vc=1, kind=CellKind.DATA))
+    sim.schedule(5.0, link.fail)
+    sim.run()
+    assert link.data_cells_dropped == 1
+
+
+def test_drop_filter_targets_specific_cells():
+    sim = Simulator()
+    a = RecordingNode(sim, switch_id(0))
+    b = RecordingNode(sim, switch_id(1))
+    link = Link(sim, a.port(0), b.port(0))
+    link.drop_filter = lambda cell: cell.kind is CellKind.CREDIT
+    a.port(0).send(Cell(vc=1, kind=CellKind.DATA))
+    a.port(0).send(Cell(vc=1, kind=CellKind.CREDIT))
+    sim.run()
+    assert len(b.received) == 1
+    assert b.received[0][2].kind is CellKind.DATA
+    assert link.cells_corrupted == 1

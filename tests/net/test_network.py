@@ -1,0 +1,123 @@
+"""Tests for network assembly and operations."""
+
+import pytest
+
+from repro._types import host_id, switch_id
+from repro.net.network import Network, NetworkError
+from repro.net.topology import Topology
+from tests.conftest import fast_switch_config, line_with_hosts
+
+
+class TestAssembly:
+    def test_nodes_and_links_instantiated(self):
+        net = line_with_hosts(3)
+        assert len(net.switches) == 3
+        assert len(net.hosts) == 2
+        assert len(net.links) == 4
+
+    def test_node_lookup_by_string(self):
+        net = line_with_hosts(2)
+        assert net.switch("s0").node_id == switch_id(0)
+        assert net.host("h1").node_id == host_id(1)
+        assert net.node("s1") is net.switches[switch_id(1)]
+
+    def test_link_between(self):
+        net = line_with_hosts(2)
+        link = net.link_between("s0", "s1")
+        assert link.working
+        with pytest.raises(NetworkError):
+            net.link_between("s0", "h1")
+
+    def test_link_speeds_follow_cable_spec(self):
+        topo = Topology.line(2)
+        topo.add_host(0)
+        topo.connect("h0", "s0")  # defaults to slow host link
+        net = Network(topo, switch_config=fast_switch_config())
+        assert net.link_between("h0", "s0").bps == 155_000_000
+        assert net.link_between("s0", "s1").bps == 622_000_000
+
+    def test_start_idempotent(self):
+        net = line_with_hosts(2)
+        net.start()
+        net.start()
+        net.run_until_converged(timeout_us=500_000)
+
+
+class TestConvergencePredicates:
+    def test_not_converged_before_start(self):
+        net = line_with_hosts(2)
+        assert not net.converged()
+        with pytest.raises(NetworkError):
+            net.converged_view()
+
+    def test_run_until_times_out(self):
+        net = line_with_hosts(2)  # never started: cannot converge
+        with pytest.raises(NetworkError):
+            net.run_until_converged(timeout_us=5_000.0)
+
+    def test_reconfig_root_is_tag_initiator(self):
+        net = line_with_hosts(3)
+        net.start()
+        net.run_until_converged(timeout_us=500_000)
+        root = net.reconfig_root()
+        tag = net.switch("s0").reconfig.view_tag
+        assert root == tag.initiator
+
+    def test_main_component_after_crash(self):
+        net = line_with_hosts(4)
+        net.start()
+        net.run_until_converged(timeout_us=500_000)
+        net.crash_switch("s3")
+        component = net.main_component_switches()
+        assert component == [switch_id(0), switch_id(1), switch_id(2)]
+
+    def test_expected_view_tracks_failures(self):
+        net = line_with_hosts(3)
+        net.start()
+        before = len(net.expected_view().edges)
+        net.fail_link("s0", "s1")
+        assert len(net.expected_view().edges) == before - 1
+        net.restore_link("s0", "s1")
+        assert len(net.expected_view().edges) == before
+
+
+class TestFaultInjection:
+    def test_crash_and_restore_switch(self):
+        net = line_with_hosts(3)
+        failed = net.crash_switch("s1")
+        assert len(failed) == 2  # both line links; host links elsewhere
+        assert all(not l.working for l in failed)
+        restored = net.restore_switch("s1")
+        assert len(restored) == 2
+        assert all(l.working for l in restored)
+
+    def test_drift_assignment(self):
+        topo = Topology.line(3)
+        net = Network(
+            topo, seed=9, switch_config=fast_switch_config(), drift_ppm=500.0
+        )
+        rates = {s.clock.rate for s in net.switches.values()}
+        assert len(rates) == 3  # each switch got its own drift
+        for rate in rates:
+            assert 1 - 600e-6 < rate < 1 + 600e-6
+
+
+class TestCircuitApi:
+    def test_setup_circuit_unknown_host(self):
+        net = line_with_hosts(2)
+        net.start()
+        net.run_until_converged(timeout_us=500_000)
+        with pytest.raises(KeyError):
+            net.setup_circuit("h9", "h1")
+
+    def test_reserve_requires_admission(self, small_net):
+        from repro.core.guaranteed.bandwidth_central import ReservationDenied
+
+        central = small_net.bandwidth_central()
+        small_net.reserve_bandwidth("h0", "h1", 30, central=central)
+        with pytest.raises(ReservationDenied):
+            small_net.reserve_bandwidth("h0", "h1", 30, central=central)
+
+    def test_circuits_registry(self, small_net):
+        circuit = small_net.setup_circuit("h0", "h1")
+        assert small_net.circuits[circuit.vc] is circuit

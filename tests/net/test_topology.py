@@ -1,0 +1,188 @@
+"""Tests for topology descriptions, generators, and views."""
+
+import random
+
+import pytest
+
+from repro._types import host_id, parse_node_id, switch_id
+from repro.constants import FAST_LINK_BPS, SLOW_LINK_BPS
+from repro.net.topology import Topology, TopologyError, TopologyView, view_from_edges
+
+
+class TestConstruction:
+    def test_connect_auto_assigns_ports(self):
+        topo = Topology()
+        topo.add_switch(0)
+        topo.add_switch(1)
+        edge = topo.connect("s0", "s1")
+        assert edge == ((switch_id(0), 0), (switch_id(1), 0))
+
+    def test_duplicate_switch_rejected(self):
+        topo = Topology()
+        topo.add_switch(0)
+        with pytest.raises(TopologyError):
+            topo.add_switch(0)
+
+    def test_self_loop_rejected(self):
+        topo = Topology()
+        topo.add_switch(0)
+        with pytest.raises(TopologyError):
+            topo.connect("s0", "s0")
+
+    def test_port_exhaustion(self):
+        topo = Topology()
+        topo.add_switch(0, ports=1)
+        topo.add_switch(1)
+        topo.add_switch(2)
+        topo.connect("s0", "s1")
+        with pytest.raises(TopologyError):
+            topo.connect("s0", "s2")
+
+    def test_explicit_port_conflict(self):
+        topo = Topology()
+        topo.add_switch(0)
+        topo.add_switch(1)
+        topo.add_switch(2)
+        topo.connect("s0", "s1", port_a=3)
+        with pytest.raises(TopologyError):
+            topo.connect("s0", "s2", port_a=3)
+
+    def test_unknown_node_rejected(self):
+        topo = Topology()
+        topo.add_switch(0)
+        with pytest.raises(TopologyError):
+            topo.connect("s0", "s9")
+
+    def test_host_links_default_slow_trunks_fast(self):
+        topo = Topology()
+        topo.add_switch(0)
+        topo.add_switch(1)
+        topo.add_host(0)
+        topo.connect("s0", "s1")
+        topo.connect("h0", "s0")
+        speeds = {
+            tuple(sorted(str(n) for (n, _) in spec.endpoints)): spec.bps
+            for spec in topo.cables()
+        }
+        assert speeds[("s0", "s1")] == FAST_LINK_BPS
+        assert speeds[("h0", "s0")] == SLOW_LINK_BPS
+
+    def test_parallel_cables_allowed(self):
+        topo = Topology()
+        topo.add_switch(0)
+        topo.add_switch(1)
+        topo.connect("s0", "s1")
+        topo.connect("s0", "s1")
+        assert len(topo.switch_edges()) == 2
+
+
+class TestQueries:
+    def test_neighbors(self):
+        topo = Topology.line(3)
+        assert topo.neighbors("s1") == [switch_id(0), switch_id(2)]
+
+    def test_is_switch_connected(self):
+        topo = Topology.line(4)
+        assert topo.is_switch_connected()
+        disconnected = Topology()
+        disconnected.add_switch(0)
+        disconnected.add_switch(1)
+        assert not disconnected.is_switch_connected()
+
+    def test_host_attachments_listed(self):
+        topo = Topology()
+        topo.add_switch(0)
+        topo.add_host(3)
+        topo.connect("h3", "s0")
+        assert len(topo.host_attachments()) == 1
+        assert topo.hosts() == [host_id(3)]
+
+
+class TestGenerators:
+    def test_line(self):
+        topo = Topology.line(5)
+        assert len(topo.switches()) == 5
+        assert len(topo.switch_edges()) == 4
+
+    def test_ring(self):
+        topo = Topology.ring(5)
+        assert len(topo.switch_edges()) == 5
+
+    def test_star(self):
+        topo = Topology.star(6)
+        assert len(topo.switches()) == 7
+        assert len(topo.neighbors("s0")) == 6
+
+    def test_grid(self):
+        topo = Topology.grid(3, 4)
+        assert len(topo.switches()) == 12
+        assert len(topo.switch_edges()) == 3 * 3 + 2 * 4  # 17
+
+    def test_random_connected_is_connected(self):
+        for seed in range(5):
+            topo = Topology.random_connected(
+                12, extra_edges=6, rng=random.Random(seed)
+            )
+            assert topo.is_switch_connected()
+            assert len(topo.switch_edges()) >= 11
+
+    def test_src_lan_hosts_dual_homed(self):
+        topo = Topology.src_lan(n_switches=6, n_hosts=8, rng=random.Random(1))
+        assert len(topo.hosts()) == 8
+        view = topo.view()
+        for host, attachments in view.host_ports().items():
+            assert len(attachments) == 2
+            switches = {s for _, s, _ in attachments}
+            assert len(switches) == 2  # two *different* switches
+
+
+class TestTopologyView:
+    def test_view_matches_description(self):
+        topo = Topology.line(3)
+        view = topo.view()
+        assert len(view) == 2
+        assert view.switches() == [switch_id(0), switch_id(1), switch_id(2)]
+
+    def test_equality_is_structural(self):
+        a = Topology.line(3).view()
+        b = Topology.line(3).view()
+        assert a == b
+
+    def test_with_and_without_edge(self):
+        view = Topology.line(3).view()
+        edge = sorted(view.edges)[0]
+        smaller = view.without_edge(edge)
+        assert len(smaller) == 1
+        assert smaller.with_edge(edge) == view
+
+    def test_merge(self):
+        view = Topology.line(3).view()
+        edges = sorted(view.edges)
+        left = TopologyView(frozenset(edges[:1]))
+        right = TopologyView(frozenset(edges[1:]))
+        assert left.merge(right) == view
+
+    def test_switch_adjacency_symmetry(self):
+        view = Topology.grid(2, 2).view()
+        adjacency = view.switch_adjacency()
+        for node, entries in adjacency.items():
+            for port, neighbor, neighbor_port in entries:
+                reverse = adjacency[neighbor]
+                assert (neighbor_port, node, port) in reverse
+
+    def test_view_from_edges_normalizes(self):
+        a = (switch_id(1), 0)
+        b = (switch_id(0), 0)
+        view = view_from_edges([(a, b)])
+        ((first, _), _) = next(iter(view.edges))
+        assert first == switch_id(0)
+
+
+def test_parse_node_id_roundtrip():
+    assert parse_node_id("s3") == switch_id(3)
+    assert parse_node_id("h12") == host_id(12)
+    assert parse_node_id(switch_id(1)) == switch_id(1)
+    with pytest.raises(ValueError):
+        parse_node_id("x9")
+    with pytest.raises(ValueError):
+        parse_node_id("s")

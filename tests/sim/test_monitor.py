@@ -1,0 +1,114 @@
+"""Tests for measurement probes."""
+
+import pytest
+
+from repro.sim.monitor import Counter, ProbeSet, Tally, TimeSeries
+
+
+class TestCounter:
+    def test_increment(self):
+        counter = Counter("c")
+        counter.increment()
+        counter.increment(4)
+        assert counter.value == 5
+
+    def test_reset(self):
+        counter = Counter()
+        counter.increment(3)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestTally:
+    def test_mean_and_extremes(self):
+        tally = Tally()
+        tally.extend([1.0, 2.0, 3.0, 4.0])
+        assert tally.mean == pytest.approx(2.5)
+        assert tally.minimum == 1.0
+        assert tally.maximum == 4.0
+        assert tally.count == 4
+        assert tally.total == pytest.approx(10.0)
+
+    def test_variance_and_stdev(self):
+        tally = Tally()
+        tally.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert tally.variance == pytest.approx(32.0 / 7.0)
+        assert tally.stdev == pytest.approx((32.0 / 7.0) ** 0.5)
+
+    def test_variance_of_single_sample_is_zero(self):
+        tally = Tally()
+        tally.record(5.0)
+        assert tally.variance == 0.0
+
+    def test_percentiles_nearest_rank(self):
+        tally = Tally()
+        tally.extend(float(i) for i in range(1, 101))
+        assert tally.percentile(50) == 50.0
+        assert tally.percentile(99) == 99.0
+        assert tally.percentile(100) == 100.0
+        assert tally.percentile(0) == 1.0
+
+    def test_percentile_after_more_samples_recomputes(self):
+        tally = Tally()
+        tally.extend([1.0, 2.0, 3.0])
+        assert tally.percentile(100) == 3.0
+        tally.record(10.0)
+        assert tally.percentile(100) == 10.0
+
+    def test_empty_tally_raises(self):
+        tally = Tally("empty")
+        with pytest.raises(ValueError):
+            tally.mean
+        with pytest.raises(ValueError):
+            tally.percentile(50)
+        with pytest.raises(ValueError):
+            tally.minimum
+
+    def test_bad_percentile_rejected(self):
+        tally = Tally()
+        tally.record(1.0)
+        with pytest.raises(ValueError):
+            tally.percentile(101)
+
+
+class TestTimeSeries:
+    def test_points_and_maximum(self):
+        series = TimeSeries()
+        series.record(0.0, 1.0)
+        series.record(10.0, 5.0)
+        series.record(20.0, 2.0)
+        assert series.maximum() == 5.0
+        assert series.count == 3
+        assert series.values() == [1.0, 5.0, 2.0]
+
+    def test_time_average_weights_by_duration(self):
+        series = TimeSeries()
+        series.record(0.0, 0.0)
+        series.record(10.0, 10.0)  # value 0 held for 10us
+        series.record(20.0, 0.0)  # value 10 held for 10us
+        assert series.time_average() == pytest.approx(5.0)
+
+    def test_non_monotonic_time_rejected(self):
+        series = TimeSeries()
+        series.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            series.record(4.0, 1.0)
+
+    def test_empty_maximum_raises(self):
+        with pytest.raises(ValueError):
+            TimeSeries().maximum()
+
+    def test_time_average_needs_two_points(self):
+        series = TimeSeries()
+        series.record(0.0, 1.0)
+        with pytest.raises(ValueError):
+            series.time_average()
+
+
+class TestProbeSet:
+    def test_probes_are_cached_by_name(self):
+        probes = ProbeSet()
+        assert probes.counter("a") is probes.counter("a")
+        assert probes.tally("b") is probes.tally("b")
+        assert probes.time_series("c") is probes.time_series("c")
+        assert probes.counter("a").name == "a"

@@ -1,0 +1,197 @@
+"""Tests for generator-based processes and signals."""
+
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.sim.process import Interrupted, Process, Signal, Timeout, spawn
+
+
+def test_timeout_resumes_after_delay():
+    sim = Simulator()
+    trace = []
+
+    def proc():
+        trace.append(("start", sim.now))
+        yield Timeout(25.0)
+        trace.append(("resumed", sim.now))
+
+    spawn(sim, proc())
+    sim.run()
+    assert trace == [("start", 0.0), ("resumed", 25.0)]
+
+
+def test_process_result_and_finished_signal():
+    sim = Simulator()
+
+    def proc():
+        yield Timeout(1.0)
+        return 42
+
+    p = spawn(sim, proc())
+    results = []
+    p.finished.subscribe(results.append)
+    sim.run()
+    assert p.done
+    assert p.result == 42
+    assert results == [42]
+
+
+def test_signal_delivers_value():
+    sim = Simulator()
+    signal = Signal("go")
+    got = []
+
+    def waiter():
+        value = yield signal
+        got.append(value)
+
+    spawn(sim, waiter())
+    sim.schedule(10.0, signal.fire, "payload")
+    sim.run()
+    assert got == ["payload"]
+
+
+def test_signal_wakes_all_current_waiters():
+    sim = Simulator()
+    signal = Signal()
+    woken = []
+
+    def waiter(name):
+        yield signal
+        woken.append(name)
+
+    spawn(sim, waiter("a"))
+    spawn(sim, waiter("b"))
+    sim.schedule(1.0, signal.fire)
+    sim.run()
+    assert sorted(woken) == ["a", "b"]
+
+
+def test_late_waiter_blocks_until_next_fire():
+    sim = Simulator()
+    signal = Signal()
+    woken = []
+
+    def late():
+        yield Timeout(20.0)
+        yield signal
+        woken.append(sim.now)
+
+    spawn(sim, late())
+    sim.schedule(10.0, signal.fire)  # fires before the waiter waits
+    sim.schedule(30.0, signal.fire)
+    sim.run()
+    assert woken == [30.0]
+
+
+def test_interrupt_raises_inside_generator():
+    sim = Simulator()
+    outcome = []
+
+    def proc():
+        try:
+            yield Timeout(100.0)
+            outcome.append("completed")
+        except Interrupted as exc:
+            outcome.append(("interrupted", exc.cause, sim.now))
+
+    p = spawn(sim, proc())
+    sim.schedule(5.0, p.interrupt, "superseded")
+    sim.run()
+    assert outcome == [("interrupted", "superseded", 5.0)]
+    assert p.done
+
+
+def test_interrupt_cancels_pending_timeout():
+    sim = Simulator()
+
+    def proc():
+        try:
+            yield Timeout(100.0)
+        except Interrupted:
+            return "stopped"
+
+    p = spawn(sim, proc())
+    sim.schedule(1.0, p.interrupt)
+    sim.run()
+    assert p.result == "stopped"
+    assert sim.now < 100.0
+
+
+def test_interrupt_after_done_is_noop():
+    sim = Simulator()
+
+    def proc():
+        yield Timeout(1.0)
+
+    p = spawn(sim, proc())
+    sim.run()
+    assert p.done
+    p.interrupt()
+    sim.run()
+
+
+def test_process_can_wait_on_another_process():
+    sim = Simulator()
+    order = []
+
+    def worker():
+        yield Timeout(10.0)
+        order.append("worker done")
+        return "product"
+
+    def boss(w):
+        result = yield w
+        order.append(("boss got", result, sim.now))
+
+    w = spawn(sim, worker())
+    spawn(sim, boss(w))
+    sim.run()
+    assert order == ["worker done", ("boss got", "product", 10.0)]
+
+
+def test_waiting_on_finished_process_resumes_immediately():
+    sim = Simulator()
+    got = []
+
+    def worker():
+        return "early"
+        yield  # pragma: no cover - makes this a generator
+
+    def boss(w):
+        result = yield w
+        got.append(result)
+
+    w = spawn(sim, worker())
+    sim.run()
+    spawn(sim, boss(w))
+    sim.run()
+    assert got == ["early"]
+
+
+def test_unsupported_yield_raises():
+    sim = Simulator()
+
+    def proc():
+        yield "nonsense"
+
+    spawn(sim, proc())
+    with pytest.raises(TypeError):
+        sim.run()
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(ValueError):
+        Timeout(-1.0)
+
+
+def test_signal_subscribe_and_unsubscribe():
+    signal = Signal()
+    seen = []
+    signal.subscribe(seen.append)
+    signal.fire(1)
+    signal.unsubscribe(seen.append)
+    signal.fire(2)
+    assert seen == [1]
+    assert signal.fire_count == 2
+    assert signal.last_value == 2

@@ -1,0 +1,111 @@
+"""Tests for per-VC input buffering and guaranteed queues."""
+
+from repro.net.cell import Cell
+from repro.switch.buffers import GuaranteedQueues, VcQueues
+
+
+def cell(vc):
+    return Cell(vc=vc)
+
+
+def always(out_port, vc):
+    return True
+
+
+def never(out_port, vc):
+    return False
+
+
+class TestVcQueues:
+    def test_push_pop_fifo_within_vc(self):
+        queues = VcQueues()
+        first, second = cell(20), cell(20)
+        queues.push(1, 20, first)
+        queues.push(1, 20, second)
+        assert queues.pop(1, always) == (20, first)
+        assert queues.pop(1, always) == (20, second)
+        assert queues.pop(1, always) is None
+
+    def test_round_robin_between_vcs(self):
+        queues = VcQueues()
+        for _ in range(2):
+            queues.push(1, 20, cell(20))
+            queues.push(1, 21, cell(21))
+        served = [queues.pop(1, always)[0] for _ in range(4)]
+        assert served == [20, 21, 20, 21]
+
+    def test_blocked_vc_does_not_block_siblings(self):
+        """Section 5: "if one virtual circuit is blocked, other virtual
+        circuits passing over the same link are not affected"."""
+        def only_21(out_port, vc):
+            return vc == 21
+
+        queues = VcQueues()
+        blocked = cell(20)
+        open_cell = cell(21)
+        queues.push(1, 20, blocked)
+        queues.push(1, 21, open_cell)
+        vc, popped = queues.pop(1, only_21)
+        assert vc == 21 and popped is open_cell
+
+    def test_eligible_outputs_respects_can_send(self):
+        queues = VcQueues()
+        queues.push(1, 20, cell(20))
+        queues.push(3, 21, cell(21))
+        assert queues.eligible_outputs(always) == {1, 3}
+        assert queues.eligible_outputs(never) == set()
+
+        def only_output_3(out_port, vc):
+            return out_port == 3
+
+        assert queues.eligible_outputs(only_output_3) == {3}
+
+    def test_occupancy_tracking(self):
+        queues = VcQueues()
+        assert not queues.has_backlog()
+        queues.push(0, 20, cell(20))
+        queues.push(1, 21, cell(21))
+        assert queues.occupancy == 2
+        assert queues.occupancy_for(0) == 1
+        assert queues.peak_occupancy == 2
+        queues.pop(0, always)
+        assert queues.occupancy == 1
+        assert queues.peak_occupancy == 2
+
+    def test_drain_vc_removes_everything(self):
+        queues = VcQueues()
+        queues.push(1, 20, cell(20))
+        queues.push(1, 20, cell(20))
+        queues.push(1, 21, cell(21))
+        drained = queues.drain_vc(20)
+        assert len(drained) == 2
+        assert queues.occupancy == 1
+        assert queues.queued_vcs(1) == [21]
+        assert queues.drain_vc(20) == []
+
+    def test_queued_vcs_excludes_empty(self):
+        queues = VcQueues()
+        queues.push(1, 20, cell(20))
+        queues.pop(1, always)
+        assert queues.queued_vcs(1) == []
+
+
+class TestGuaranteedQueues:
+    def test_fifo_per_output(self):
+        queues = GuaranteedQueues()
+        first, second = cell(30), cell(30)
+        queues.push(2, first)
+        queues.push(2, second)
+        assert queues.pop(2) is first
+        assert queues.pop(2) is second
+        assert queues.pop(2) is None
+
+    def test_occupancy_and_peak(self):
+        queues = GuaranteedQueues()
+        queues.push(0, cell(30))
+        queues.push(1, cell(31))
+        assert queues.occupancy == 2
+        assert queues.has_backlog()
+        queues.pop(0)
+        assert queues.occupancy == 1
+        assert queues.peak_occupancy == 2
