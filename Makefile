@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples all clean
+.PHONY: install test bench bench-speed examples all clean
 
 install:
 	pip install -e .
@@ -12,6 +12,12 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Wall-clock regression gate: fails if any frozen speed workload runs
+# >25% slower than the committed BENCH_speed.json baseline; skips
+# cleanly when no baseline exists.
+bench-speed:
+	$(PYTHON) tools/run_speed_bench.py --check
 
 examples:
 	@for script in examples/*.py; do \

@@ -1,0 +1,220 @@
+"""Fixed speed workloads for the persistent performance baseline.
+
+Unlike the ``bench_e*``/``bench_a*`` experiment benchmarks (which
+reproduce the paper's *results*), this module defines a small set of
+frozen *wall-clock* workloads whose timings are committed to
+``BENCH_speed.json`` at the repo root by ``tools/run_speed_bench.py``.
+Future PRs run ``make bench-speed`` to detect hot-loop regressions
+against that baseline.
+
+Design rules for every workload here:
+
+- **Frozen inputs.**  Traffic traces are pre-generated from fixed seeds
+  outside the timed region, so the timer sees only the fabric/scheduler
+  hot loop (or the event-kernel loop), never the traffic generator.
+- **Warmed state.**  Fabric workloads run untimed warmup slots first so
+  the timed region measures the saturated steady state, where every
+  experiment spends its time.
+- **Work checksums.**  Each workload returns a deterministic checksum of
+  the work done (cells delivered, events executed).  The runner refuses
+  to compare timings whose checksums differ -- a speedup that changes
+  the work done is a bug, not an optimisation.
+
+The headline pair is ``voq_pim_reference_n16`` vs ``voq_pim_bitmask_n16``:
+the same saturated uniform-load VoqFabric workload (N=16, 20k timed
+slots) driven through the reference set-based PIM and through the
+bitmask fast path (:mod:`repro.core.matching.bitmask`).  Their ratio is
+reported as ``pim_bitmask_speedup_n16``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.core.matching.bitmask import BitmaskFifoScheduler, BitmaskPim
+from repro.core.matching.fifo import FifoScheduler
+from repro.core.matching.pim import ParallelIterativeMatcher
+from repro.sim.kernel import Simulator
+from repro.switch.fabric import FifoFabric, VoqFabric
+
+TRACE_SEED = 42
+MATCHER_SEED = 1
+
+
+@dataclass(frozen=True)
+class SpeedResult:
+    """One timed execution of a workload."""
+
+    seconds: float
+    checksum: int
+
+
+@dataclass(frozen=True)
+class SpeedWorkload:
+    """A frozen, repeatable timed workload."""
+
+    name: str
+    description: str
+    run: Callable[[], SpeedResult]
+
+
+def _uniform_trace(
+    n_ports: int, load: float, slots: int, seed: int = TRACE_SEED
+) -> List[List[Tuple[int, int]]]:
+    """Bernoulli(load) arrivals per input, uniform destinations."""
+    rng = random.Random(seed)
+    rng_random = rng.random
+    return [
+        [
+            (i, int(rng_random() * n_ports))
+            for i in range(n_ports)
+            if rng_random() < load
+        ]
+        for _ in range(slots)
+    ]
+
+
+def _run_voq(
+    n_ports: int, scheduler_factory: Callable[[], object], slots: int, warmup: int
+) -> SpeedResult:
+    trace = _uniform_trace(n_ports, 1.0, slots + warmup)
+    fabric = VoqFabric(n_ports, scheduler_factory())
+    offer_batch = fabric.offer_batch
+    step = fabric.step
+    for slot in range(warmup):
+        offer_batch(trace[slot], slot)
+        step(slot)
+    start = time.perf_counter()
+    for slot in range(warmup, warmup + slots):
+        offer_batch(trace[slot], slot)
+        step(slot)
+    elapsed = time.perf_counter() - start
+    return SpeedResult(elapsed, fabric.metrics.cells_delivered)
+
+
+def _run_fifo(
+    n_ports: int, scheduler_factory: Callable[[], object], slots: int, warmup: int
+) -> SpeedResult:
+    trace = _uniform_trace(n_ports, 0.9, slots + warmup)
+    fabric = FifoFabric(n_ports, scheduler_factory())
+    step = fabric.step
+    for slot in range(warmup):
+        for i, o in trace[slot]:
+            fabric.offer(i, o, slot)
+        step(slot)
+    start = time.perf_counter()
+    for slot in range(warmup, warmup + slots):
+        for i, o in trace[slot]:
+            fabric.offer(i, o, slot)
+        step(slot)
+    elapsed = time.perf_counter() - start
+    return SpeedResult(elapsed, fabric.metrics.cells_delivered)
+
+
+def _run_kernel_storm(n_events: int, cancel_every: int) -> SpeedResult:
+    """Schedule/cancel storm: the credit-timer / skeptic-hold-down shape.
+
+    Schedules ``n_events`` timers and cancels all but every
+    ``cancel_every``-th before running, so the lazy-cancel compaction and
+    the O(1) ``pending()`` counter are both on the timed path.
+    """
+    sim = Simulator()
+    executed = [0]
+
+    def fire() -> None:
+        executed[0] += 1
+
+    rng = random.Random(TRACE_SEED)
+    start = time.perf_counter()
+    events = [
+        sim.schedule_at(rng.random() * 1000.0, fire) for _ in range(n_events)
+    ]
+    for index, event in enumerate(events):
+        if index % cancel_every:
+            event.cancel()
+        _ = sim.pending()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    checksum = executed[0] * 1_000_000 + sim.compactions
+    return SpeedResult(elapsed, checksum)
+
+
+def _pim_reference(n_ports: int) -> ParallelIterativeMatcher:
+    return ParallelIterativeMatcher(n_ports, rng=random.Random(MATCHER_SEED))
+
+
+def _pim_bitmask(n_ports: int) -> BitmaskPim:
+    return BitmaskPim(n_ports, rng=random.Random(MATCHER_SEED))
+
+
+# Slot counts shrink as N grows so every workload stays a few seconds at
+# most; the N=16 pair keeps the issue-specified 20k timed slots.
+WORKLOADS: List[SpeedWorkload] = [
+    SpeedWorkload(
+        "voq_pim_reference_n16",
+        "VoqFabric + reference PIM, uniform load 1.0, N=16, 20k slots",
+        lambda: _run_voq(16, lambda: _pim_reference(16), 20_000, 2_000),
+    ),
+    SpeedWorkload(
+        "voq_pim_bitmask_n16",
+        "VoqFabric + bitmask PIM, uniform load 1.0, N=16, 20k slots",
+        lambda: _run_voq(16, lambda: _pim_bitmask(16), 20_000, 2_000),
+    ),
+    SpeedWorkload(
+        "voq_pim_reference_n32",
+        "VoqFabric + reference PIM, uniform load 1.0, N=32, 4k slots",
+        lambda: _run_voq(32, lambda: _pim_reference(32), 4_000, 500),
+    ),
+    SpeedWorkload(
+        "voq_pim_bitmask_n32",
+        "VoqFabric + bitmask PIM, uniform load 1.0, N=32, 4k slots",
+        lambda: _run_voq(32, lambda: _pim_bitmask(32), 4_000, 500),
+    ),
+    SpeedWorkload(
+        "voq_pim_reference_n64",
+        "VoqFabric + reference PIM, uniform load 1.0, N=64, 1.5k slots",
+        lambda: _run_voq(64, lambda: _pim_reference(64), 1_500, 200),
+    ),
+    SpeedWorkload(
+        "voq_pim_bitmask_n64",
+        "VoqFabric + bitmask PIM, uniform load 1.0, N=64, 1.5k slots",
+        lambda: _run_voq(64, lambda: _pim_bitmask(64), 1_500, 200),
+    ),
+    SpeedWorkload(
+        "fifo_reference_n16",
+        "FifoFabric + reference FIFO scheduler, load 0.9, N=16, 20k slots",
+        lambda: _run_fifo(
+            16,
+            lambda: FifoScheduler(16, rng=random.Random(MATCHER_SEED)),
+            20_000,
+            2_000,
+        ),
+    ),
+    SpeedWorkload(
+        "fifo_bitmask_n16",
+        "FifoFabric + bitmask FIFO scheduler, load 0.9, N=16, 20k slots",
+        lambda: _run_fifo(
+            16,
+            lambda: BitmaskFifoScheduler(16, rng=random.Random(MATCHER_SEED)),
+            20_000,
+            2_000,
+        ),
+    ),
+    SpeedWorkload(
+        "kernel_schedule_cancel_storm",
+        "Simulator: 200k timers, 90% cancelled, pending() polled per cancel",
+        lambda: _run_kernel_storm(200_000, 10),
+    ),
+]
+
+# (bitmask workload, reference workload) pairs whose best-time ratio the
+# runner derives and stores alongside the raw timings.
+SPEEDUP_PAIRS: Dict[str, Tuple[str, str]] = {
+    "pim_bitmask_speedup_n16": ("voq_pim_reference_n16", "voq_pim_bitmask_n16"),
+    "pim_bitmask_speedup_n32": ("voq_pim_reference_n32", "voq_pim_bitmask_n32"),
+    "pim_bitmask_speedup_n64": ("voq_pim_reference_n64", "voq_pim_bitmask_n64"),
+    "fifo_bitmask_speedup_n16": ("fifo_reference_n16", "fifo_bitmask_n16"),
+}

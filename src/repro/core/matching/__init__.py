@@ -14,6 +14,12 @@ the schedulers:
   strawman,
 - :class:`~repro.core.matching.fifo.FifoScheduler` -- head-of-line FIFO
   contention, the 58%-throughput baseline,
+- :mod:`repro.core.matching.bitmask` -- bitmask fast-path
+  re-implementations of PIM, iSLIP, and the FIFO scheduler
+  (:class:`~repro.core.matching.bitmask.BitmaskPim`,
+  :class:`~repro.core.matching.bitmask.BitmaskIslip`,
+  :class:`~repro.core.matching.bitmask.BitmaskFifoScheduler`), valid for
+  N <= 64 and bit-identical to the references for a shared seed,
 
 plus legality/maximality analysis helpers in
 :mod:`repro.core.matching.analysis`.
@@ -24,12 +30,22 @@ from repro.core.matching.analysis import (
     is_maximal_matching,
     match_size,
 )
+from repro.core.matching.bitmask import (
+    BitmaskFifoScheduler,
+    BitmaskIslip,
+    BitmaskPim,
+    iter_bits,
+    mask_of,
+)
 from repro.core.matching.fifo import FifoScheduler
 from repro.core.matching.islip import IslipMatcher
 from repro.core.matching.maximum import MaximumMatcher, hopcroft_karp
 from repro.core.matching.pim import MatchResult, ParallelIterativeMatcher
 
 __all__ = [
+    "BitmaskFifoScheduler",
+    "BitmaskIslip",
+    "BitmaskPim",
     "FifoScheduler",
     "IslipMatcher",
     "MatchResult",
@@ -38,5 +54,7 @@ __all__ = [
     "hopcroft_karp",
     "is_legal_matching",
     "is_maximal_matching",
+    "iter_bits",
+    "mask_of",
     "match_size",
 ]

@@ -31,7 +31,7 @@ from typing import Dict, List, Optional, Sequence, Set
 Matching = Dict[int, int]  # input port -> output port
 
 
-@dataclass
+@dataclass(slots=True)
 class MatchResult:
     """Outcome of one slot's matching.
 
@@ -138,6 +138,15 @@ class ParallelIterativeMatcher:
                 requests_at_output.setdefault(output_port, []).append(input_port)
 
         # Step 2: each unmatched output grants one request at random.
+        #
+        # Determinism contract: outputs are visited in ascending port
+        # order (and inputs likewise in step 3), so a fixed-seed run
+        # consumes RNG draws in a reproducible sequence.  The hardware
+        # ports all decide simultaneously, so any visiting order is
+        # faithful -- but tests, benchmarks, and the bitmask fast path
+        # (:mod:`repro.core.matching.bitmask`, which iterates its masks
+        # ascending and is bit-identical to this implementation for a
+        # shared seed) rely on this exact order.  Do not change it.
         grants_at_input: Dict[int, List[int]] = {}
         for output_port in sorted(requests_at_output):
             if output_port in matched_outputs:
@@ -146,7 +155,8 @@ class ParallelIterativeMatcher:
             chosen = contenders[self.rng.randrange(len(contenders))]
             grants_at_input.setdefault(chosen, []).append(output_port)
 
-        # Step 3: each input with grants accepts one at random.
+        # Step 3: each input with grants accepts one at random, inputs
+        # ascending (same determinism contract as step 2).
         added = 0
         for input_port in sorted(grants_at_input):
             grants = grants_at_input[input_port]

@@ -27,7 +27,7 @@ class Event:
     :meth:`Simulator.schedule_at` and can be cancelled before they fire.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_sim")
 
     def __init__(
         self,
@@ -41,10 +41,16 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._sim: Optional["Simulator"] = None
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Safe to call more than once."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        sim, self._sim = self._sim, None
+        if sim is not None:
+            sim._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -64,12 +70,22 @@ class Simulator:
         sim.run(until=100.0)
     """
 
+    # Compaction policy: when more than half the heap is cancelled
+    # events (and the heap is big enough for the O(n) rebuild to pay
+    # off), filter them out and re-heapify.  Credit timers and skeptic
+    # hold-downs cancel heavily, so without this the heap grows with
+    # dead entries that every push/pop then sifts through.
+    COMPACT_MIN_SIZE = 64
+
     def __init__(self) -> None:
         self._now = 0.0
         self._queue: List[Event] = []
         self._seq = 0
         self._running = False
         self._events_executed = 0
+        self._live = 0  # queued, non-cancelled events (O(1) pending())
+        self._cancelled_in_heap = 0
+        self._compactions = 0
 
     # ------------------------------------------------------------------
     # time
@@ -83,6 +99,16 @@ class Simulator:
     def events_executed(self) -> int:
         """Number of events executed so far (a work metric)."""
         return self._events_executed
+
+    @property
+    def heap_size(self) -> int:
+        """Entries in the heap, including not-yet-reaped cancelled ones."""
+        return len(self._queue)
+
+    @property
+    def compactions(self) -> int:
+        """How many times the heap was compacted (a diagnostics metric)."""
+        return self._compactions
 
     # ------------------------------------------------------------------
     # scheduling
@@ -104,9 +130,31 @@ class Simulator:
                 f"cannot schedule at t={time} before now={self._now}"
             )
         event = Event(time, self._seq, callback, args)
+        event._sim = self
         self._seq += 1
         heapq.heappush(self._queue, event)
+        self._live += 1
         return event
+
+    # ------------------------------------------------------------------
+    # cancellation bookkeeping
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel` for an event still in the heap."""
+        self._live -= 1
+        self._cancelled_in_heap += 1
+        if (
+            len(self._queue) >= self.COMPACT_MIN_SIZE
+            and self._cancelled_in_heap * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled events and re-heapify (lazy-cancel reaping)."""
+        self._queue = [e for e in self._queue if not e.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_in_heap = 0
+        self._compactions += 1
 
     # ------------------------------------------------------------------
     # execution
@@ -119,7 +167,10 @@ class Simulator:
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
+            event._sim = None
+            self._live -= 1
             self._now = event.time
             self._events_executed += 1
             event.callback(*event.args)
@@ -142,12 +193,15 @@ class Simulator:
                 head = self._queue[0]
                 if head.cancelled:
                     heapq.heappop(self._queue)
+                    self._cancelled_in_heap -= 1
                     continue
                 if until is not None and head.time > until:
                     break
                 if max_events is not None and executed >= max_events:
                     break
                 heapq.heappop(self._queue)
+                head._sim = None
+                self._live -= 1
                 self._now = head.time
                 self._events_executed += 1
                 executed += 1
@@ -161,8 +215,9 @@ class Simulator:
         """Time of the next pending event, or ``None`` if idle."""
         while self._queue and self._queue[0].cancelled:
             heapq.heappop(self._queue)
+            self._cancelled_in_heap -= 1
         return self._queue[0].time if self._queue else None
 
     def pending(self) -> int:
-        """Number of queued, non-cancelled events."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of queued, non-cancelled events (O(1))."""
+        return self._live

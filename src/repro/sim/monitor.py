@@ -45,12 +45,12 @@ class Tally:
         self._sorted: Optional[List[float]] = None
 
     def record(self, value: float) -> None:
+        # Hot path (one call per delivered cell): a bare append.  The
+        # sorted cache is invalidated by length comparison at read time.
         self._samples.append(value)
-        self._sorted = None
 
     def extend(self, values: Sequence[float]) -> None:
         self._samples.extend(values)
-        self._sorted = None
 
     @property
     def count(self) -> int:
@@ -97,7 +97,9 @@ class Tally:
             raise ValueError(f"tally {self.name!r} has no samples")
         if not 0 <= p <= 100:
             raise ValueError(f"percentile {p} out of range")
-        if self._sorted is None:
+        if self._sorted is None or len(self._sorted) != len(self._samples):
+            # Samples are append-only, so a length match means the cache
+            # is still valid.
             self._sorted = sorted(self._samples)
         if p == 0:
             return self._sorted[0]

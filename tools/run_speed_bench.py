@@ -1,0 +1,191 @@
+#!/usr/bin/env python
+"""Run the frozen speed workloads and maintain ``BENCH_speed.json``.
+
+Two modes:
+
+``python tools/run_speed_bench.py``
+    Times every workload in :mod:`benchmarks.bench_speed` (best of
+    ``--repeats`` interleaved rounds, GC disabled) and writes the
+    results, plus derived bitmask-vs-reference speedups, to
+    ``BENCH_speed.json`` at the repo root.
+
+``python tools/run_speed_bench.py --check``
+    Re-times the workloads and compares against the committed baseline.
+    Exits non-zero if any workload is more than ``--tolerance`` (default
+    25%) slower than its baseline entry, or if a work checksum diverges
+    (the timed work itself changed).  Skips cleanly (exit 0) when no
+    baseline file exists, so fresh clones and CI bootstrap runs pass.
+
+Timings are wall-clock and machine-dependent; the baseline is only
+meaningful against timings taken on the same machine, which is exactly
+the regression-gate use case.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import platform
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_speed.json"
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT))
+
+from benchmarks.bench_speed import SPEEDUP_PAIRS, WORKLOADS  # noqa: E402
+
+SCHEMA = 1
+
+
+def time_workloads(repeats: int, verbose: bool = True) -> dict:
+    """Best-of-``repeats`` seconds per workload, interleaved.
+
+    Interleaving the rounds (round 1 of every workload, then round 2,
+    ...) spreads machine noise evenly across workloads instead of
+    letting a slow spell land entirely on one of them, which matters for
+    the derived reference/bitmask ratios.
+    """
+    results: dict = {}
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for round_index in range(repeats):
+            for workload in WORKLOADS:
+                outcome = workload.run()
+                entry = results.setdefault(
+                    workload.name,
+                    {
+                        "description": workload.description,
+                        "seconds": outcome.seconds,
+                        "checksum": outcome.checksum,
+                    },
+                )
+                if outcome.checksum != entry["checksum"]:
+                    raise RuntimeError(
+                        f"{workload.name}: checksum varied across repeats "
+                        f"({entry['checksum']} vs {outcome.checksum}); "
+                        "the workload is not deterministic"
+                    )
+                entry["seconds"] = min(entry["seconds"], outcome.seconds)
+                if verbose:
+                    print(
+                        f"  [{round_index + 1}/{repeats}] {workload.name}: "
+                        f"{outcome.seconds:.3f}s"
+                    )
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return results
+
+
+def derive_speedups(results: dict) -> dict:
+    speedups = {}
+    for name, (reference, bitmask) in SPEEDUP_PAIRS.items():
+        if reference in results and bitmask in results:
+            speedups[name] = round(
+                results[reference]["seconds"] / results[bitmask]["seconds"], 2
+            )
+    return speedups
+
+
+def write_baseline(path: Path, results: dict) -> dict:
+    document = {
+        "schema": SCHEMA,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "workloads": results,
+        "speedups": derive_speedups(results),
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return document
+
+
+def check_against_baseline(
+    path: Path, repeats: int, tolerance: float
+) -> int:
+    if not path.exists():
+        print(f"no baseline at {path}; skipping speed check (run "
+              f"tools/run_speed_bench.py to create one)")
+        return 0
+    baseline = json.loads(path.read_text())
+    base_workloads = baseline.get("workloads", {})
+    print(f"checking against baseline {path} (tolerance {tolerance:.0%})")
+    current = time_workloads(repeats)
+    failures = []
+    for name, entry in current.items():
+        base = base_workloads.get(name)
+        if base is None:
+            print(f"  {name}: no baseline entry (new workload), skipping")
+            continue
+        if entry["checksum"] != base["checksum"]:
+            failures.append(
+                f"{name}: checksum {entry['checksum']} != baseline "
+                f"{base['checksum']} (the timed work changed; re-baseline "
+                "deliberately if intended)"
+            )
+            continue
+        limit = base["seconds"] * (1.0 + tolerance)
+        verdict = "ok" if entry["seconds"] <= limit else "REGRESSION"
+        print(
+            f"  {name}: {entry['seconds']:.3f}s vs baseline "
+            f"{base['seconds']:.3f}s -> {verdict}"
+        )
+        if entry["seconds"] > limit:
+            failures.append(
+                f"{name}: {entry['seconds']:.3f}s exceeds "
+                f"{base['seconds']:.3f}s by more than {tolerance:.0%}"
+            )
+    for line in failures:
+        print(f"FAIL {line}")
+    if not failures:
+        print("speed check passed")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed baseline instead of rewriting it",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timed rounds per workload; best time wins (default 3)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="--check failure threshold as a fraction (default 0.25)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help=f"baseline path (default {DEFAULT_BASELINE})",
+    )
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+
+    if args.check:
+        return check_against_baseline(args.output, args.repeats, args.tolerance)
+
+    print(f"timing {len(WORKLOADS)} workloads, best of {args.repeats} rounds")
+    results = time_workloads(args.repeats)
+    document = write_baseline(args.output, results)
+    print(f"wrote {args.output}")
+    for name, value in sorted(document["speedups"].items()):
+        print(f"  {name}: {value}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
