@@ -142,6 +142,36 @@ def _run_kernel_storm(n_events: int, cancel_every: int) -> SpeedResult:
     return SpeedResult(elapsed, checksum)
 
 
+def _run_voq_traced(
+    n_ports: int, scheduler_factory: Callable[[], object], slots: int, warmup: int
+) -> SpeedResult:
+    """Same shape as :func:`_run_voq` but with a live Tracer attached.
+
+    Measures the cost of the instrumented path (per-slot ``match.round``
+    events plus VOQ activity transitions).  The checksum folds the trace
+    record count in with the delivered-cell count so a change that
+    silently alters what gets traced fails the comparison.
+    """
+    from repro.obs import Tracer
+
+    trace = _uniform_trace(n_ports, 1.0, slots + warmup)
+    tracer = Tracer()
+    fabric = VoqFabric(n_ports, scheduler_factory(), tracer=tracer)
+    offer_batch = fabric.offer_batch
+    step = fabric.step
+    for slot in range(warmup):
+        offer_batch(trace[slot], slot)
+        step(slot)
+    tracer.clear()
+    start = time.perf_counter()
+    for slot in range(warmup, warmup + slots):
+        offer_batch(trace[slot], slot)
+        step(slot)
+    elapsed = time.perf_counter() - start
+    checksum = fabric.metrics.cells_delivered * 1_000_000 + len(tracer)
+    return SpeedResult(elapsed, checksum)
+
+
 def _pim_reference(n_ports: int) -> ParallelIterativeMatcher:
     return ParallelIterativeMatcher(n_ports, rng=random.Random(MATCHER_SEED))
 
@@ -202,6 +232,11 @@ WORKLOADS: List[SpeedWorkload] = [
             20_000,
             2_000,
         ),
+    ),
+    SpeedWorkload(
+        "voq_pim_bitmask_n16_traced",
+        "VoqFabric + bitmask PIM with live Tracer, N=16, 5k slots",
+        lambda: _run_voq_traced(16, lambda: _pim_bitmask(16), 5_000, 500),
     ),
     SpeedWorkload(
         "kernel_schedule_cancel_storm",

@@ -18,6 +18,7 @@ counters.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
 
 
 class CreditError(Exception):
@@ -26,13 +27,23 @@ class CreditError(Exception):
 
 @dataclass
 class UpstreamCredits:
-    """The sender's side: a credit balance for one VC over one link."""
+    """The sender's side: a credit balance for one VC over one link.
+
+    ``trace`` is an optional ``(event_name, payload_dict)`` hook that the
+    owning driver wires up -- only when its simulator has a tracer -- to
+    surface credit grants and stall/unstall transitions as ``flowcontrol``
+    trace events.  Untraced instances never touch it on the send path.
+    """
 
     allocation: int
     balance: int = field(default=-1)
     cells_sent: int = 0
     credits_received: int = 0
     stalls: int = 0  # times a send was attempted/needed with zero balance
+    trace: Optional[Callable[[str, dict], Any]] = field(
+        default=None, repr=False, compare=False
+    )
+    _stalled: bool = field(default=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.allocation <= 0:
@@ -61,9 +72,19 @@ class UpstreamCredits:
             raise CreditError(
                 f"balance {self.balance} exceeds allocation {self.allocation}"
             )
+        if self.trace is not None:
+            self.trace("credit.grant", {"amount": amount, "balance": self.balance})
+            if self._stalled:
+                self._stalled = False
+                self.trace("credit.unstall", {"stalls": self.stalls})
 
     def note_stall(self) -> None:
         self.stalls += 1
+        if self.trace is not None and not self._stalled:
+            # One event per stall *episode*; note_stall fires once per
+            # blocked pump attempt and would flood the trace otherwise.
+            self._stalled = True
+            self.trace("credit.stall", {"stalls": self.stalls})
 
     def resynchronize(self, downstream_freed_total: int) -> int:
         """Reset the balance from the downstream's cumulative counter.

@@ -95,6 +95,10 @@ class PortMonitor:
         self.pings_sent = 0
         self.acks_received = 0
         self._started = False
+        # Trace events (ours and the skeptic's) carry the port-qualified
+        # component name, e.g. "s3.p2".
+        self._trace_component = f"{owner_id}.p{port.index}"
+        skeptic.bind_trace(sim, self._trace_component)
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -120,6 +124,12 @@ class PortMonitor:
             return
         del self._outstanding[seq]
         self._misses += 1
+        if self.sim.tracer is not None:
+            self.sim.tracer.emit(
+                self.sim.now, "reconfig", self._trace_component,
+                "monitor.timeout", seq=seq, misses=self._misses,
+                threshold=self.miss_threshold,
+            )
         if self._misses >= self.miss_threshold:
             self.skeptic.report_failure(self.sim.now)
 

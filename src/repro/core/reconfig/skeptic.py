@@ -88,6 +88,23 @@ class Skeptic:
         self._last_decay: float = 0.0
         self.verdict_changes: List[Tuple[float, LinkVerdict]] = []
         self.failures_seen = 0
+        # Tracing is opt-in: the machine stays pure (explicit timestamps,
+        # no simulator) until an owner binds one for emission.
+        self._trace_sim = None
+        self._trace_component = ""
+
+    def bind_trace(self, sim, component: str) -> None:
+        """Emit ``reconfig`` trace events through ``sim.tracer`` (if any)."""
+        self._trace_sim = sim
+        self._trace_component = component
+
+    def _trace(self, now: float, name: str, **payload) -> None:
+        sim = self._trace_sim
+        if sim is not None and sim.tracer is not None:
+            sim.tracer.emit(
+                now, "reconfig", self._trace_component, name,
+                level=self.level, **payload,
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -111,6 +128,7 @@ class Skeptic:
         """The monitor observed the link misbehaving."""
         self._maybe_decay(now)
         self.failures_seen += 1
+        self._trace(now, "skeptic.failure", state=self._state.value)
         if self._state is _State.WORKING:
             self.level = min(self.level + 1, self.max_level)
             self._enter_dead(now)
@@ -126,6 +144,9 @@ class Skeptic:
         if self._state is _State.DEAD:
             self._state = _State.PROBATION
             self._probation_ends = now + self.current_wait()
+            self._trace(
+                now, "skeptic.probation", until=self._probation_ends,
+            )
 
     def tick(self, now: float) -> None:
         """Advance timers: probation completion and skepticism decay.
@@ -167,6 +188,7 @@ class Skeptic:
             return
         self._verdict = verdict
         self.verdict_changes.append((now, verdict))
+        self._trace(now, "skeptic.verdict", verdict=verdict.value)
         if self.on_verdict is not None:
             self.on_verdict(verdict, now)
 

@@ -93,6 +93,7 @@ class Host(Node):
         streams: RandomStreams,
         config: Optional[HostConfig] = None,
         n_ports: int = 2,
+        registry=None,
     ) -> None:
         super().__init__(sim, node_id, n_ports)
         self.streams = streams
@@ -101,7 +102,19 @@ class Host(Node):
         self.senders: Dict[VcId, _Sender] = {}
         self.reassembler = Reassembler()
         self.delivered: List[Packet] = []
-        self.packet_latency = Tally(f"{node_id}.packet_latency")
+        self._probes = (
+            registry.node(f"host.{node_id}") if registry is not None else None
+        )
+        if self._probes is not None:
+            self.packet_latency = self._probes.tally("packet_latency")
+            self._probes.gauge("cells_received", lambda: self.cells_received)
+            self._probes.gauge(
+                "reassembly_errors", lambda: self.reassembly_errors
+            )
+            self._probes.gauge("packets_delivered", lambda: len(self.delivered))
+            self._probes.gauge("queued_cells", self.queued_cells)
+        else:
+            self.packet_latency = Tally(f"{node_id}.packet_latency")
         self.cell_latency: Dict[VcId, Tally] = {}
         self.cell_arrivals: Dict[VcId, List[float]] = {}
         self.packet_delivered = Signal(f"{node_id}.packet_delivered")
@@ -186,7 +199,9 @@ class Host(Node):
             # window's outstanding cells died with the old link.
             if self.config.flow_control == "credits":
                 allocation = self._allocation()
-                sender.upstream = UpstreamCredits(allocation)
+                sender.upstream = UpstreamCredits(
+                    allocation, trace=self._make_credit_trace(vc)
+                )
                 sender.resync = ResyncState(vc, sender.upstream)
             self.active_port.send(
                 Cell(
@@ -228,7 +243,9 @@ class Host(Node):
         if traffic_class is TrafficClass.BEST_EFFORT:
             if self.config.flow_control == "credits":
                 allocation = self._allocation()
-                sender.upstream = UpstreamCredits(allocation)
+                sender.upstream = UpstreamCredits(
+                    allocation, trace=self._make_credit_trace(vc)
+                )
                 sender.resync = ResyncState(vc, sender.upstream)
             self._rotation.append(vc)
         self.senders[vc] = sender
@@ -253,6 +270,23 @@ class Host(Node):
             self.active_port.send(
                 Cell(vc=1, kind=CellKind.SIGNALING, payload=TeardownRequest(vc))
             )
+
+    def _make_credit_trace(self, vc: VcId):
+        """Credit-state trace hook for one circuit; ``None`` (no send-path
+        overhead) when no tracer is attached at circuit-open time."""
+        sim = self.sim
+        if sim.tracer is None:
+            return None
+        component = str(self.node_id)
+
+        def hook(name: str, payload: dict) -> None:
+            tracer = sim.tracer
+            if tracer is not None:
+                tracer.emit(
+                    sim.now, "flowcontrol", component, name, vc=vc, **payload
+                )
+
+        return hook
 
     def _allocation(self) -> int:
         if self.config.credit_allocation is not None:
@@ -432,7 +466,11 @@ class Host(Node):
             port.send(Cell(vc=cell.vc, kind=CellKind.CREDIT, payload=1))
         tally = self.cell_latency.get(cell.vc)
         if tally is None:
-            tally = self.cell_latency[cell.vc] = Tally(f"vc{cell.vc}.cell_latency")
+            if self._probes is not None:
+                tally = self._probes.tally(f"vc{cell.vc}.cell_latency")
+            else:
+                tally = Tally(f"vc{cell.vc}.cell_latency")
+            self.cell_latency[cell.vc] = tally
         tally.record(self.sim.now - cell.created_at)
         self.cell_arrivals.setdefault(cell.vc, []).append(self.sim.now)
         try:
@@ -461,7 +499,14 @@ class Host(Node):
         if isinstance(payload, ResyncReply):
             sender = self.senders.get(payload.vc)
             if sender is not None and sender.resync is not None:
-                if sender.resync.apply_reply(payload):
+                recovered = sender.resync.apply_reply(payload)
+                if recovered:
+                    if self.sim.tracer is not None:
+                        self.sim.tracer.emit(
+                            self.sim.now, "flowcontrol", str(self.node_id),
+                            "resync.recovered",
+                            vc=payload.vc, recovered=recovered,
+                        )
                     self._kick_pump()
             return
         sender = self.senders.get(cell.vc)

@@ -32,6 +32,9 @@ from repro.sim.kernel import Simulator
 from repro.sim.random import RandomStreams
 from repro.switch.switch import AN2Switch, SwitchConfig
 
+import repro.obs as obs
+from repro.obs import MetricsRegistry
+
 
 class NetworkError(Exception):
     """Operational failure: convergence timeout, unknown node..."""
@@ -58,6 +61,13 @@ class Network:
         """
         self.topology = topology
         self.sim = Simulator()
+        self.registry = MetricsRegistry()
+        cap = obs.active_capture()
+        if cap is not None:
+            # Built inside an observability capture (e.g. pytest
+            # --trace-out): trace into its buffer, report our metrics.
+            self.sim.tracer = cap.tracer
+            cap.adopt(self.registry)
         self.streams = RandomStreams(seed)
         base_config = switch_config if switch_config is not None else SwitchConfig()
         self.switch_config = base_config
@@ -86,6 +96,7 @@ class Network:
                 self.streams.fork(str(node)),
                 config=config,
                 n_ports=topology.ports_of(node),
+                registry=self.registry,
             )
         for node in topology.hosts():
             self.hosts[node] = Host(
@@ -94,6 +105,7 @@ class Network:
                 self.streams.fork(str(node)),
                 config=self.host_config,
                 n_ports=topology.ports_of(node),
+                registry=self.registry,
             )
         for spec in topology.cables():
             (node_a, pa), (node_b, pb) = spec.endpoints
@@ -573,6 +585,11 @@ class Network:
         return restored
 
     # ==================================================================
+    def metrics_snapshot(self) -> Dict[str, dict]:
+        """Plain-dict state of every registered probe (see
+        :class:`~repro.obs.registry.MetricsRegistry`)."""
+        return self.registry.snapshot()
+
     def total_cells_forwarded(self) -> int:
         return sum(s.stats.cells_forwarded for s in self.switches.values())
 

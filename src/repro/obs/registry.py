@@ -1,0 +1,106 @@
+"""A hierarchical registry of measurement probes.
+
+Components used to hand-roll their own ``Tally``/``Counter`` instances,
+which left every experiment to rediscover where the numbers lived.  The
+:class:`MetricsRegistry` owns one
+:class:`~repro.sim.monitor.ProbeSet` per *component node* -- a
+dot-separated path such as ``switch.3.crossbar`` or ``host.h0`` -- and
+every probe inside a node is addressed as ``<node path>.<probe name>``
+(``switch.3.crossbar.iterations_to_maximal``).
+
+The registry is pull-based: components register probes (or gauges over
+their existing plain-int counters) at construction time and mutate them
+on their hot paths exactly as before; :meth:`snapshot` walks the tree
+only when an experiment asks for it, so registration costs nothing per
+cell.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Callable, Dict, Optional, Union
+
+from repro.sim.monitor import ProbeSet, Tally
+
+
+def _validate_path(path: str) -> str:
+    if not path or any(not segment for segment in path.split(".")):
+        raise ValueError(f"invalid registry path {path!r}")
+    return path
+
+
+class MetricsRegistry:
+    """Hierarchical, snapshot-able probe ownership."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, ProbeSet] = {}
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def node(self, path: str) -> ProbeSet:
+        """The :class:`ProbeSet` at ``path``, created on first use."""
+        probes = self._nodes.get(path)
+        if probes is None:
+            probes = self._nodes[_validate_path(path)] = ProbeSet()
+        return probes
+
+    def nodes(self) -> Dict[str, ProbeSet]:
+        """A copy of the node map (path -> probe set)."""
+        return dict(self._nodes)
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # ------------------------------------------------------------------
+    # probe addressing: "<node path>.<probe name>"
+    # ------------------------------------------------------------------
+    def _split(self, path: str) -> tuple:
+        _validate_path(path)
+        node_path, _, name = path.rpartition(".")
+        if not node_path:
+            raise ValueError(
+                f"probe path {path!r} needs at least 'node.probe'"
+            )
+        return node_path, name
+
+    def counter(self, path: str):
+        node_path, name = self._split(path)
+        return self.node(node_path).counter(name)
+
+    def tally(self, path: str, max_samples: Optional[int] = None) -> Tally:
+        node_path, name = self._split(path)
+        return self.node(node_path).tally(name, max_samples=max_samples)
+
+    def time_series(self, path: str):
+        node_path, name = self._split(path)
+        return self.node(node_path).time_series(name)
+
+    def gauge(self, path: str, fn: Callable[[], float]):
+        node_path, name = self._split(path)
+        return self.node(node_path).gauge(name, fn)
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, dict]:
+        """Plain-dict state of every node, keyed by node path."""
+        return {
+            path: probes.snapshot()
+            for path, probes in sorted(self._nodes.items())
+        }
+
+    def write_json(self, path: Union[str, "os.PathLike[str]"]) -> None:
+        with open(path, "w", encoding="utf-8") as stream:
+            json.dump(self.snapshot(), stream, indent=2, sort_keys=True)
+            stream.write("\n")
+
+    def reset(self) -> None:
+        """Zero every probe in every node (gauges are left alone: they
+        read live component state)."""
+        for probes in self._nodes.values():
+            probes.reset()

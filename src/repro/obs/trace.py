@@ -1,0 +1,225 @@
+"""Structured event tracing for the simulator and its protocols.
+
+A :class:`Tracer` accumulates timestamped :class:`TraceRecord`\\ s --
+(time, category, component, name, payload) tuples -- and serializes them
+to JSON Lines for post-hoc analysis by ``tools/trace_report.py``.
+
+Design constraints, in order of importance:
+
+1. **Disabled means free.**  Nothing in this module is on any hot path;
+   instrumentation sites guard every emission with a single
+   ``sim.tracer is not None`` (or local ``tracer is not None``) check, and
+   the kernel swaps in traced step/run implementations only while a
+   tracer is attached, so the untraced event loop never references
+   tracing at all.
+2. **Explicit time.**  Records carry the timestamp the *caller* supplies
+   (simulated microseconds for event-driven models, the slot index for
+   the slot-synchronous fabrics).  The tracer itself is clockless, so one
+   tracer can serve several simulators without ambiguity.
+3. **Plain data out.**  Payload values that are not JSON-native are
+   stringified on export, so protocol code can attach ``NodeId``\\ s,
+   ``EpochTag``\\ s, and enums without ceremony.
+
+Categories used by the built-in instrumentation:
+
+- ``kernel``       event executions (traced :class:`~repro.sim.kernel.Simulator`)
+- ``reconfig``     epoch lifecycle, skeptic verdicts, port-monitor timeouts
+- ``flowcontrol``  credit grants, stall/unstall transitions, resync rounds
+- ``fabric``       per-slot match rounds and VOQ active/idle transitions
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    TextIO,
+    Union,
+)
+
+
+class TraceRecord:
+    """One structured trace event."""
+
+    __slots__ = ("time", "category", "component", "name", "payload")
+
+    def __init__(
+        self,
+        time: float,
+        category: str,
+        component: str,
+        name: str,
+        payload: Dict[str, Any],
+    ) -> None:
+        self.time = time
+        self.category = category
+        self.component = component
+        self.name = name
+        self.payload = payload
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable dict (payload values coerced if needed)."""
+        return {
+            "t": self.time,
+            "cat": self.category,
+            "comp": self.component,
+            "name": self.name,
+            "data": {k: _jsonable(v) for k, v in self.payload.items()},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<TraceRecord t={self.time:.3f} {self.category}/"
+            f"{self.component} {self.name} {self.payload}>"
+        )
+
+
+def _jsonable(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return str(value)
+
+
+class Span:
+    """An open interval; :meth:`end` emits the closing record.
+
+    Created through :meth:`Tracer.span`, which emits ``<name>.begin``
+    immediately; ``end`` emits ``<name>.end`` carrying ``duration``.
+    Ending twice is a no-op, so abort paths can close defensively.
+    """
+
+    __slots__ = ("_tracer", "started_at", "category", "component", "name", "_open")
+
+    def __init__(
+        self, tracer: "Tracer", started_at: float, category: str,
+        component: str, name: str,
+    ) -> None:
+        self._tracer = tracer
+        self.started_at = started_at
+        self.category = category
+        self.component = component
+        self.name = name
+        self._open = True
+
+    def end(self, t: float, **payload: Any) -> None:
+        if not self._open:
+            return
+        self._open = False
+        self._tracer.emit(
+            t,
+            self.category,
+            self.component,
+            f"{self.name}.end",
+            duration=t - self.started_at,
+            **payload,
+        )
+
+
+class Tracer:
+    """An in-memory trace buffer with category filtering.
+
+    Args:
+        categories: if given, only these categories are recorded (cheap
+            way to keep e.g. ``kernel`` event firehoses out of a
+            protocol-level trace).
+        max_records: optional bound; once reached, further emissions are
+            counted in :attr:`dropped` instead of stored.
+    """
+
+    def __init__(
+        self,
+        categories: Optional[Iterable[str]] = None,
+        max_records: Optional[int] = None,
+    ) -> None:
+        self.records: List[TraceRecord] = []
+        self.categories: Optional[Set[str]] = (
+            set(categories) if categories is not None else None
+        )
+        self.max_records = max_records
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    def enabled(self, category: str) -> bool:
+        return self.categories is None or category in self.categories
+
+    def emit(
+        self, t: float, category: str, component: str, name: str,
+        **payload: Any,
+    ) -> None:
+        """Record one event at time ``t``."""
+        if self.categories is not None and category not in self.categories:
+            return
+        if self.max_records is not None and len(self.records) >= self.max_records:
+            self.dropped += 1
+            return
+        self.records.append(TraceRecord(t, category, component, name, payload))
+
+    def span(
+        self, t: float, category: str, component: str, name: str,
+        **payload: Any,
+    ) -> Span:
+        """Open a span: emits ``<name>.begin`` now, returns the handle."""
+        self.emit(t, category, component, f"{name}.begin", **payload)
+        return Span(self, t, category, component, name)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def filter(
+        self,
+        category: Optional[str] = None,
+        component: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> List[TraceRecord]:
+        """Records matching every given field exactly."""
+        return [
+            r
+            for r in self.records
+            if (category is None or r.category == category)
+            and (component is None or r.component == component)
+            and (name is None or r.name == name)
+        ]
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def dump_jsonl(self, stream: TextIO) -> int:
+        """Write one JSON object per line; returns the record count."""
+        for record in self.records:
+            stream.write(json.dumps(record.to_dict(), sort_keys=True))
+            stream.write("\n")
+        return len(self.records)
+
+    def write_jsonl(self, path: Union[str, "os.PathLike[str]"]) -> int:
+        with open(path, "w", encoding="utf-8") as stream:
+            return self.dump_jsonl(stream)
+
+
+def read_jsonl(path: Union[str, "os.PathLike[str]"]) -> List[Dict[str, Any]]:
+    """Load a trace written by :meth:`Tracer.write_jsonl` as plain dicts."""
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+PathLike = Union[str, "os.PathLike[str]"]

@@ -13,7 +13,10 @@ paper's constants can be written literally.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.obs.trace import Tracer
 
 
 class SimulationError(RuntimeError):
@@ -86,6 +89,30 @@ class Simulator:
         self._live = 0  # queued, non-cancelled events (O(1) pending())
         self._cancelled_in_heap = 0
         self._compactions = 0
+        self._tracer: Optional["Tracer"] = None
+
+    # ------------------------------------------------------------------
+    # tracing
+    # ------------------------------------------------------------------
+    # Attaching a tracer swaps per-instance traced implementations of
+    # step/run into the instance dict; detaching removes them so lookups
+    # fall back to the class methods.  The untraced bytecode therefore
+    # contains no tracer checks at all -- the disabled hot path is the
+    # original hot path, byte for byte.
+    @property
+    def tracer(self) -> Optional["Tracer"]:
+        """The attached :class:`~repro.obs.trace.Tracer`, or ``None``."""
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer: Optional["Tracer"]) -> None:
+        self._tracer = tracer
+        if tracer is not None:
+            self.__dict__["step"] = self._step_traced
+            self.__dict__["run"] = self._run_traced
+        else:
+            self.__dict__.pop("step", None)
+            self.__dict__.pop("run", None)
 
     # ------------------------------------------------------------------
     # time
@@ -205,6 +232,73 @@ class Simulator:
                 self._now = head.time
                 self._events_executed += 1
                 executed += 1
+                head.callback(*head.args)
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    # ------------------------------------------------------------------
+    # traced execution (installed per-instance by the tracer setter)
+    # ------------------------------------------------------------------
+    def _step_traced(self) -> bool:
+        """:meth:`step` plus one ``kernel`` record per executed event."""
+        tracer = self._tracer
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                self._cancelled_in_heap -= 1
+                continue
+            event._sim = None
+            self._live -= 1
+            self._now = event.time
+            self._events_executed += 1
+            if tracer is not None:
+                tracer.emit(
+                    event.time, "kernel", "sim", "event",
+                    seq=event.seq,
+                    callback=getattr(
+                        event.callback, "__qualname__", repr(event.callback)
+                    ),
+                )
+            event.callback(*event.args)
+            return True
+        return False
+
+    def _run_traced(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> None:
+        """:meth:`run` plus one ``kernel`` record per executed event."""
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        tracer = self._tracer
+        executed = 0
+        try:
+            while self._queue:
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    self._cancelled_in_heap -= 1
+                    continue
+                if until is not None and head.time > until:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                heapq.heappop(self._queue)
+                head._sim = None
+                self._live -= 1
+                self._now = head.time
+                self._events_executed += 1
+                executed += 1
+                if tracer is not None:
+                    tracer.emit(
+                        head.time, "kernel", "sim", "event",
+                        seq=head.seq,
+                        callback=getattr(
+                            head.callback, "__qualname__", repr(head.callback)
+                        ),
+                    )
                 head.callback(*head.args)
             if until is not None and self._now < until:
                 self._now = until

@@ -1,15 +1,20 @@
-"""Measurement probes: counters, tallies, and time series.
+"""Measurement probes: counters, tallies, gauges, and time series.
 
 The benchmark harness reports latency percentiles, throughput, buffer
 occupancy peaks, message counts, and reconfiguration durations; these small
 accumulators are used throughout the switch and network models to collect
 them without coupling the models to any particular experiment.
+
+A :class:`ProbeSet` groups the probes of one component instance; the
+hierarchical :class:`~repro.obs.registry.MetricsRegistry` owns one probe
+set per component node and snapshots the whole tree to plain dicts.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+import random
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 
 class Counter:
@@ -31,47 +36,141 @@ class Counter:
         return f"Counter({self.name!r}, {self.value})"
 
 
+class Gauge:
+    """A named read-through probe over live component state.
+
+    Lets plain-int hot-path counters (``stats.cells_forwarded`` and
+    friends) appear in registry snapshots without adding any per-cell
+    bookkeeping: the callable is only invoked at snapshot time.
+    """
+
+    __slots__ = ("name", "fn")
+
+    def __init__(self, name: str, fn: Callable[[], float]) -> None:
+        self.name = name
+        self.fn = fn
+
+    @property
+    def value(self) -> float:
+        return self.fn()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Gauge({self.name!r}, {self.value})"
+
+
 class Tally:
     """Sample accumulator with mean / variance / percentiles.
 
-    Stores all samples; the simulations in this library produce at most a
-    few million samples per tally, which is fine in memory and lets us
-    report exact percentiles.
+    Two storage modes:
+
+    - **exact** (default, ``max_samples=None``): stores every sample,
+      reports exact percentiles.  ``record`` stays a bare append so hot
+      paths (one call per delivered cell) pay nothing extra, and code may
+      even append to ``_samples`` directly.
+    - **bounded** (``max_samples=k``): keeps a k-sample uniform reservoir
+      (Vitter's algorithm R, seeded and deterministic) with *exact*
+      count/total/mean/variance/min/max maintained as running values.
+      Semantics are exact until the reservoir fills -- the first ``k``
+      samples are stored verbatim -- after which percentiles become
+      estimates over a uniform subsample.  Multi-million-sample runs stop
+      holding every float.
     """
 
-    def __init__(self, name: str = "") -> None:
+    def __init__(
+        self,
+        name: str = "",
+        max_samples: Optional[int] = None,
+        seed: int = 0x5EED,
+    ) -> None:
+        if max_samples is not None and max_samples <= 0:
+            raise ValueError(f"max_samples must be positive, got {max_samples}")
         self.name = name
+        self.max_samples = max_samples
         self._samples: List[float] = []
         self._sorted: Optional[List[float]] = None
+        if max_samples is not None:
+            self._rng = random.Random(seed)
+            self._count = 0
+            self._total = 0.0
+            self._sumsq = 0.0
+            self._min = math.inf
+            self._max = -math.inf
 
     def record(self, value: float) -> None:
-        # Hot path (one call per delivered cell): a bare append.  The
-        # sorted cache is invalidated by length comparison at read time.
-        self._samples.append(value)
+        if self.max_samples is None:
+            # Hot path (one call per delivered cell): a bare append.  The
+            # sorted cache is invalidated by length comparison at read time.
+            self._samples.append(value)
+            return
+        self._count += 1
+        self._total += value
+        self._sumsq += value * value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        samples = self._samples
+        if len(samples) < self.max_samples:
+            samples.append(value)
+        else:
+            slot = self._rng.randrange(self._count)
+            if slot < self.max_samples:
+                samples[slot] = value
+                # In-place replacement keeps the length constant, so the
+                # length-based cache check cannot see it: drop the cache.
+                self._sorted = None
 
     def extend(self, values: Sequence[float]) -> None:
-        self._samples.extend(values)
+        if self.max_samples is None:
+            self._samples.extend(values)
+        else:
+            for value in values:
+                self.record(value)
+
+    def reset(self) -> None:
+        """Forget every sample (both modes)."""
+        self._samples.clear()
+        self._sorted = None
+        if self.max_samples is not None:
+            self._count = 0
+            self._total = 0.0
+            self._sumsq = 0.0
+            self._min = math.inf
+            self._max = -math.inf
+
+    @property
+    def bounded(self) -> bool:
+        return self.max_samples is not None
 
     @property
     def count(self) -> int:
+        if self.max_samples is not None:
+            return self._count
         return len(self._samples)
 
     @property
     def total(self) -> float:
+        if self.max_samples is not None:
+            return self._total
         return math.fsum(self._samples)
 
     @property
     def mean(self) -> float:
-        if not self._samples:
+        if not self.count:
             raise ValueError(f"tally {self.name!r} has no samples")
-        return self.total / len(self._samples)
+        return self.total / self.count
 
     @property
     def variance(self) -> float:
         """Unbiased sample variance (0.0 with fewer than two samples)."""
-        n = len(self._samples)
+        n = self.count
         if n < 2:
             return 0.0
+        if self.max_samples is not None:
+            mean = self._total / n
+            # Running-sums form; clamp the tiny negative values that
+            # floating-point cancellation can produce.
+            return max(0.0, (self._sumsq - n * mean * mean) / (n - 1))
         mean = self.mean
         return math.fsum((x - mean) ** 2 for x in self._samples) / (n - 1)
 
@@ -81,25 +180,35 @@ class Tally:
 
     @property
     def minimum(self) -> float:
-        if not self._samples:
+        if not self.count:
             raise ValueError(f"tally {self.name!r} has no samples")
+        if self.max_samples is not None:
+            return self._min
         return min(self._samples)
 
     @property
     def maximum(self) -> float:
-        if not self._samples:
+        if not self.count:
             raise ValueError(f"tally {self.name!r} has no samples")
+        if self.max_samples is not None:
+            return self._max
         return max(self._samples)
 
     def percentile(self, p: float) -> float:
-        """The ``p``-th percentile (0 <= p <= 100), nearest-rank method."""
+        """The ``p``-th percentile (0 <= p <= 100), nearest-rank method.
+
+        In bounded mode this is computed over the reservoir -- exact
+        until the reservoir fills, an estimate afterwards (the running
+        min/max stay exact; use those for the extremes).
+        """
         if not self._samples:
             raise ValueError(f"tally {self.name!r} has no samples")
         if not 0 <= p <= 100:
             raise ValueError(f"percentile {p} out of range")
         if self._sorted is None or len(self._sorted) != len(self._samples):
-            # Samples are append-only, so a length match means the cache
-            # is still valid.
+            # Samples grow append-only (exact mode), so a length match
+            # means the cache is still valid; bounded-mode replacements
+            # clear the cache explicitly.
             self._sorted = sorted(self._samples)
         if p == 0:
             return self._sorted[0]
@@ -107,11 +216,26 @@ class Tally:
         return self._sorted[rank - 1]
 
     def samples(self) -> List[float]:
-        """A copy of the raw samples."""
+        """A copy of the stored samples (the reservoir in bounded mode)."""
         return list(self._samples)
 
+    def snapshot(self) -> Dict[str, float]:
+        """Summary statistics as a plain dict (empty-safe)."""
+        if not self.count:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "stdev": self.stdev,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
     def __repr__(self) -> str:  # pragma: no cover
-        if not self._samples:
+        if not self.count:
             return f"Tally({self.name!r}, empty)"
         return f"Tally({self.name!r}, n={self.count}, mean={self.mean:.4g})"
 
@@ -129,6 +253,9 @@ class TimeSeries:
                 f"time series {self.name!r}: non-monotonic time {time}"
             )
         self._points.append((time, value))
+
+    def reset(self) -> None:
+        self._points.clear()
 
     @property
     def count(self) -> int:
@@ -157,6 +284,19 @@ class TimeSeries:
             return self._points[0][1]
         return area / span
 
+    def snapshot(self) -> Dict[str, float]:
+        if not self._points:
+            return {"count": 0}
+        summary: Dict[str, float] = {
+            "count": self.count,
+            "first_t": self._points[0][0],
+            "last_t": self._points[-1][0],
+            "max": self.maximum(),
+        }
+        if self.count >= 2:
+            summary["time_average"] = self.time_average()
+        return summary
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"TimeSeries({self.name!r}, n={self.count})"
 
@@ -168,6 +308,7 @@ class ProbeSet:
         self.counters: Dict[str, Counter] = {}
         self.tallies: Dict[str, Tally] = {}
         self.series: Dict[str, TimeSeries] = {}
+        self.gauges: Dict[str, Gauge] = {}
 
     def counter(self, name: str) -> Counter:
         probe = self.counters.get(name)
@@ -175,10 +316,10 @@ class ProbeSet:
             probe = self.counters[name] = Counter(name)
         return probe
 
-    def tally(self, name: str) -> Tally:
+    def tally(self, name: str, max_samples: Optional[int] = None) -> Tally:
         probe = self.tallies.get(name)
         if probe is None:
-            probe = self.tallies[name] = Tally(name)
+            probe = self.tallies[name] = Tally(name, max_samples=max_samples)
         return probe
 
     def time_series(self, name: str) -> TimeSeries:
@@ -186,3 +327,28 @@ class ProbeSet:
         if probe is None:
             probe = self.series[name] = TimeSeries(name)
         return probe
+
+    def gauge(self, name: str, fn: Callable[[], float]) -> Gauge:
+        """Register (or re-point) a read-through gauge."""
+        probe = Gauge(name, fn)
+        self.gauges[name] = probe
+        return probe
+
+    def snapshot(self) -> Dict[str, dict]:
+        """Plain-dict state of every probe in this set."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "tallies": {n: t.snapshot() for n, t in sorted(self.tallies.items())},
+            "series": {n: s.snapshot() for n, s in sorted(self.series.items())},
+            "gauges": {n: g.value for n, g in sorted(self.gauges.items())},
+        }
+
+    def reset(self) -> None:
+        """Zero counters, tallies, and series.  Gauges read live state
+        owned by their component, so they are intentionally untouched."""
+        for counter in self.counters.values():
+            counter.reset()
+        for tally in self.tallies.values():
+            tally.reset()
+        for series in self.series.values():
+            series.reset()

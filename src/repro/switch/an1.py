@@ -84,6 +84,7 @@ class An1Switch(Node):
         streams: RandomStreams,
         config: Optional[An1Config] = None,
         n_ports: Optional[int] = None,
+        registry=None,
     ) -> None:
         self.config = config if config is not None else An1Config()
         ports = n_ports if n_ports is not None else self.config.n_ports
@@ -109,6 +110,19 @@ class An1Switch(Node):
         self.packets_dropped_no_route = 0
         self.packets_dropped_overflow = 0
         self._started = False
+        if registry is not None:
+            probes = registry.node(f"an1.{node_id}")
+            probes.gauge("packets_forwarded", lambda: self.packets_forwarded)
+            probes.gauge(
+                "dropped_reconfig", lambda: self.packets_dropped_reconfig
+            )
+            probes.gauge(
+                "dropped_no_route", lambda: self.packets_dropped_no_route
+            )
+            probes.gauge(
+                "dropped_overflow", lambda: self.packets_dropped_overflow
+            )
+            probes.gauge("buffered_packets", self.buffered_packets)
 
     # ==================================================================
     def start(self) -> None:
@@ -350,11 +364,17 @@ class An1Host(Node):
     """A minimal AN1 host: whole-packet send/receive."""
 
     def __init__(
-        self, sim: Simulator, node_id: NodeId, n_ports: int = 1
+        self, sim: Simulator, node_id: NodeId, n_ports: int = 1,
+        registry=None,
     ) -> None:
         super().__init__(sim, node_id, n_ports)
         self.delivered: List[Packet] = []
-        self.packet_latency = Tally(f"{node_id}.an1_latency")
+        if registry is not None:
+            self.packet_latency = registry.tally(
+                f"an1.{node_id}.an1_latency"
+            )
+        else:
+            self.packet_latency = Tally(f"{node_id}.an1_latency")
 
     def send_packet(self, packet: Packet) -> None:
         packet.created_at = self.sim.now
@@ -396,8 +416,16 @@ class An1Network:
     def __init__(self, topology, seed: int = 0, config: Optional[An1Config] = None):
         from repro.net.link import Link
 
+        import repro.obs as obs
+        from repro.obs import MetricsRegistry
+
         self.topology = topology
         self.sim = Simulator()
+        self.registry = MetricsRegistry()
+        cap = obs.active_capture()
+        if cap is not None:
+            self.sim.tracer = cap.tracer
+            cap.adopt(self.registry)
         self.streams = RandomStreams(seed)
         self.config = config if config is not None else An1Config()
         self.switches: Dict[NodeId, An1Switch] = {}
@@ -410,10 +438,12 @@ class An1Network:
                 self.streams.fork(str(node)),
                 config=self.config,
                 n_ports=topology.ports_of(node),
+                registry=self.registry,
             )
         for node in topology.hosts():
             self.hosts[node] = An1Host(
-                self.sim, node, n_ports=topology.ports_of(node)
+                self.sim, node, n_ports=topology.ports_of(node),
+                registry=self.registry,
             )
         for spec in topology.cables():
             (node_a, pa), (node_b, pb) = spec.endpoints
@@ -452,6 +482,9 @@ class An1Network:
         if self.converged():
             return self.sim.now
         raise RuntimeError("AN1 network failed to converge")
+
+    def metrics_snapshot(self) -> Dict[str, dict]:
+        return self.registry.snapshot()
 
     def total_dropped_on_reconfig(self) -> int:
         return sum(

@@ -13,19 +13,35 @@ from __future__ import annotations
 from typing import Optional, Sequence, Set
 
 from repro.core.matching.pim import MatchResult, Matching
-from repro.sim.monitor import Tally
+from repro.sim.monitor import ProbeSet, Tally
 
 
 class Crossbar:
-    """A synchronous NxN crossbar scheduled by ``matcher``."""
+    """A synchronous NxN crossbar scheduled by ``matcher``.
 
-    def __init__(self, n_ports: int, matcher) -> None:
+    When a registry-owned :class:`ProbeSet` is supplied, the iteration
+    tally lives there and the plain-int counters are exposed as gauges, so
+    a metrics snapshot sees this crossbar without any per-slot overhead.
+    """
+
+    def __init__(
+        self, n_ports: int, matcher, probes: Optional[ProbeSet] = None
+    ) -> None:
         self.n_ports = n_ports
         self.matcher = matcher
         self.slots = 0
         self.cells_transferred = 0
         self.guaranteed_transferred = 0
-        self.iterations_to_maximal = Tally("crossbar.iterations_to_maximal")
+        if probes is not None:
+            self.iterations_to_maximal = probes.tally("iterations_to_maximal")
+            probes.gauge("slots", lambda: self.slots)
+            probes.gauge("cells_transferred", lambda: self.cells_transferred)
+            probes.gauge(
+                "guaranteed_transferred", lambda: self.guaranteed_transferred
+            )
+            probes.gauge("utilization", self.utilization)
+        else:
+            self.iterations_to_maximal = Tally("crossbar.iterations_to_maximal")
 
     def schedule(
         self,

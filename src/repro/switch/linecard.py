@@ -18,7 +18,7 @@ A :class:`LineCard` aggregates, for one port:
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from repro._types import VcId
 from repro.core.flowcontrol.credits import DownstreamCredits, UpstreamCredits
@@ -50,6 +50,11 @@ class LineCard:
         self.skeptic: Optional[Skeptic] = None
         self.cells_dropped = 0
         self.cells_forwarded = 0
+        #: set by the owning switch: ``(port_index, vc) -> hook or None``,
+        #: attached to each new :class:`UpstreamCredits` so credit grants
+        #: and stall transitions reach the tracer.  Returns ``None`` (no
+        #: per-send overhead) when no tracer is attached.
+        self.credit_trace_factory: Optional[Callable] = None
 
     # ------------------------------------------------------------------
     def ensure_downstream(self, vc: VcId, allocation: int) -> DownstreamCredits:
@@ -62,6 +67,8 @@ class LineCard:
         state = self.upstream.get(vc)
         if state is None:
             state = self.upstream[vc] = UpstreamCredits(allocation)
+            if self.credit_trace_factory is not None:
+                state.trace = self.credit_trace_factory(self.index, vc)
             self.resync[vc] = ResyncState(vc, state)
         return state
 

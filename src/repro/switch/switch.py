@@ -136,6 +136,7 @@ class AN2Switch(Node):
         streams: RandomStreams,
         config: Optional[SwitchConfig] = None,
         n_ports: Optional[int] = None,
+        registry=None,
     ) -> None:
         self.config = config if config is not None else SwitchConfig()
         ports = n_ports if n_ports is not None else self.config.n_ports
@@ -146,12 +147,19 @@ class AN2Switch(Node):
             LineCard(port, pending_cap=self.config.pending_buffer_cap)
             for port in self.ports
         ]
+        for card in self.cards:
+            card.credit_trace_factory = self._make_credit_trace
         self.crossbar = Crossbar(
             ports,
             ParallelIterativeMatcher(
                 ports,
                 iterations=self.config.pim_iterations,
                 rng=streams.stream(f"{node_id}.pim"),
+            ),
+            probes=(
+                registry.node(f"switch.{node_id}.crossbar")
+                if registry is not None
+                else None
             ),
         )
         if self.config.nested_subframe_slots is not None:
@@ -176,6 +184,41 @@ class AN2Switch(Node):
         self._started = False
         #: observers of verdict changes: callbacks (port_index, verdict).
         self.verdict_observers: List[Callable[[int, LinkVerdict], None]] = []
+        if registry is not None:
+            self._register_probes(registry.node(f"switch.{node_id}"))
+
+    def _register_probes(self, probes) -> None:
+        """Expose the plain-int stats as registry gauges (snapshot-time
+        reads; the forwarding hot path is untouched)."""
+        stats = self.stats
+        probes.gauge("cells_forwarded", lambda: stats.cells_forwarded)
+        probes.gauge("guaranteed_forwarded", lambda: stats.guaranteed_forwarded)
+        probes.gauge("cells_dropped", lambda: stats.cells_dropped)
+        probes.gauge("pending_buffered", lambda: stats.pending_buffered)
+        probes.gauge("credits_sent", lambda: stats.credits_sent)
+        probes.gauge("reroutes", lambda: stats.reroutes)
+        probes.gauge("broken_circuits", lambda: stats.broken_circuits)
+        probes.gauge("buffered_cells", self.buffered_cells)
+
+    def _make_credit_trace(self, port_index: int, vc: VcId):
+        """Hook factory for :class:`UpstreamCredits` tracing.
+
+        Evaluated once per circuit at setup time; returns ``None`` when no
+        tracer is attached so untraced runs pay nothing on the send path.
+        """
+        sim = self.sim
+        if sim.tracer is None:
+            return None
+        component = f"{self.node_id}.p{port_index}"
+
+        def hook(name: str, payload: dict) -> None:
+            tracer = sim.tracer
+            if tracer is not None:
+                tracer.emit(
+                    sim.now, "flowcontrol", component, name, vc=vc, **payload
+                )
+
+        return hook
 
     # ==================================================================
     # lifecycle
@@ -546,6 +589,13 @@ class AN2Switch(Node):
             if resync is not None:
                 recovered = resync.apply_reply(payload)
                 if recovered:
+                    if self.sim.tracer is not None:
+                        self.sim.tracer.emit(
+                            self.sim.now, "flowcontrol",
+                            f"{self.node_id}.p{port_index}",
+                            "resync.recovered",
+                            vc=payload.vc, recovered=recovered,
+                        )
                     self._kick()
             return
         upstream = card.upstream.get(cell.vc)
@@ -673,11 +723,18 @@ class AN2Switch(Node):
     # credit resynchronization driver
     # ==================================================================
     def _resync_tick(self) -> None:
+        tracer = self.sim.tracer
         for card in self.cards:
             if not card.port.connected:
                 continue
             for vc, resync in card.resync.items():
                 request = resync.make_request()
+                if tracer is not None:
+                    tracer.emit(
+                        self.sim.now, "flowcontrol",
+                        f"{self.node_id}.p{card.index}", "resync.round",
+                        vc=vc, cells_sent=request.cells_sent,
+                    )
                 card.port.send(
                     Cell(vc=vc, kind=CellKind.CREDIT, payload=request)
                 )

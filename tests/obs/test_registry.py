@@ -1,0 +1,79 @@
+"""Tests for the hierarchical metrics registry."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.sim.monitor import ProbeSet
+
+
+class TestNodes:
+    def test_node_created_on_first_use_and_cached(self):
+        registry = MetricsRegistry()
+        node = registry.node("switch.3.fabric")
+        assert isinstance(node, ProbeSet)
+        assert registry.node("switch.3.fabric") is node
+        assert "switch.3.fabric" in registry
+        assert len(registry) == 1
+
+    def test_invalid_paths_rejected(self):
+        registry = MetricsRegistry()
+        for bad in ("", ".", "a..b", "a."):
+            with pytest.raises(ValueError):
+                registry.node(bad)
+
+    def test_probe_path_needs_node_and_name(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("lonely")
+
+
+class TestProbes:
+    def test_probe_addressing_reaches_node_probe(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("switch.0.cells")
+        counter.increment(7)
+        assert registry.node("switch.0").counter("cells").value == 7
+
+    def test_tally_and_gauge_through_registry(self):
+        registry = MetricsRegistry()
+        tally = registry.tally("host.h0.packet_latency")
+        tally.extend([1.0, 2.0, 3.0])
+        registry.gauge("host.h0.queued", lambda: 42)
+        snap = registry.snapshot()["host.h0"]
+        assert snap["tallies"]["packet_latency"]["count"] == 3
+        assert snap["gauges"]["queued"] == 42
+
+    def test_bounded_tally_via_registry(self):
+        registry = MetricsRegistry()
+        tally = registry.tally("f.latency", max_samples=8)
+        tally.extend(float(i) for i in range(100))
+        assert tally.bounded
+        assert tally.count == 100
+        assert len(tally.samples()) == 8
+
+
+class TestSnapshot:
+    def test_snapshot_sorted_and_json_round_trip(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("z.last.c").increment()
+        registry.counter("a.first.c").increment(2)
+        snap = registry.snapshot()
+        assert list(snap) == ["a.first", "z.last"]
+        path = tmp_path / "metrics.json"
+        registry.write_json(path)
+        with open(path) as stream:
+            loaded = json.load(stream)
+        assert loaded["a.first"]["counters"]["c"] == 2
+
+    def test_reset_zeroes_probes_but_not_gauges(self):
+        registry = MetricsRegistry()
+        registry.counter("n.x.hits").increment(5)
+        registry.tally("n.x.lat").record(1.0)
+        registry.gauge("n.x.live", lambda: 99)
+        registry.reset()
+        snap = registry.snapshot()["n.x"]
+        assert snap["counters"]["hits"] == 0
+        assert snap["tallies"]["lat"] == {"count": 0}
+        assert snap["gauges"]["live"] == 99

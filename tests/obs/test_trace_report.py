@@ -1,0 +1,95 @@
+"""End-to-end: capture a reconfiguration experiment, render the report.
+
+This is the acceptance path for the observability PR: a bench_e4-style
+run (converge, crash a switch, reconfigure) captured with ``repro.obs``
+must produce a trace that ``tools/trace_report.py`` renders as a
+reconfiguration timeline plus a per-VC latency table.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro.obs as obs
+
+from tests.conftest import line_with_hosts
+
+TOOLS = Path(__file__).resolve().parents[2] / "tools"
+if str(TOOLS) not in sys.path:
+    sys.path.insert(0, str(TOOLS))
+
+import trace_report  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def captured_run(tmp_path_factory):
+    """Converge a 4-switch line, push traffic, crash an interior switch,
+    reconfigure, and write the trace + metrics snapshot to disk."""
+    out = tmp_path_factory.mktemp("trace")
+    # keep the kernel firehose out so the protocol trace stays small
+    tracer = obs.Tracer(categories=["reconfig", "flowcontrol", "fabric"])
+    with obs.capture(tracer) as cap:
+        net = line_with_hosts(4)
+        net.start()
+        net.run_until_converged(timeout_us=500_000)
+        circuit = net.setup_circuit("h0", "h1")
+        net.host("h0").send_raw_cells(circuit.vc, 40)
+        net.run(5_000.0)
+        net.crash_switch("s1")
+        net.run_until(net.fully_reconfigured, timeout_us=1_000_000)
+        trace_path = out / "run.trace.jsonl"
+        metrics_path = out / "run.metrics.json"
+        cap.tracer.write_jsonl(trace_path)
+        with open(metrics_path, "w", encoding="utf-8") as stream:
+            json.dump(cap.snapshot(), stream)
+    return trace_path, metrics_path
+
+
+def test_trace_contains_the_reconfiguration_story(captured_run):
+    trace_path, _ = captured_run
+    records = obs.read_jsonl(trace_path)
+    names = {r["name"] for r in records}
+    assert "epoch.trigger" in names
+    assert "epoch.begin" in names
+    assert "epoch.end" in names
+    assert "skeptic.verdict" in names
+    assert "monitor.timeout" in names  # the crashed switch's neighbours
+    assert "credit.grant" in names
+    # every record in this capture is protocol-level (kernel filtered out)
+    assert {r["cat"] for r in records} <= {"reconfig", "flowcontrol", "fabric"}
+
+
+def test_report_renders_timeline_and_latency_table(captured_run, capsys):
+    trace_path, metrics_path = captured_run
+    rc = trace_report.main([str(trace_path), "--metrics", str(metrics_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Reconfiguration timeline" in out
+    assert "epoch tag" in out
+    assert "settled" in out
+    assert "Skeptic verdicts" in out
+    assert "Port-monitor timeouts" in out
+    assert "Per-VC latency" in out
+    # the circuit's cells show up as a vc<k> row under the receiving host
+    assert "host.h1" in out
+    assert "vc" in out
+
+
+def test_report_sections_can_be_selected(captured_run, capsys):
+    trace_path, metrics_path = captured_run
+    trace_report.main(
+        [str(trace_path), "--metrics", str(metrics_path), "--section", "fabric"]
+    )
+    out = capsys.readouterr().out
+    assert "Fabric utilization" in out
+    assert "Reconfiguration timeline" not in out
+
+
+def test_report_without_metrics_still_renders_timeline(captured_run, capsys):
+    trace_path, _ = captured_run
+    rc = trace_report.main([str(trace_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Reconfiguration timeline" in out

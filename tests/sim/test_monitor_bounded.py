@@ -1,0 +1,165 @@
+"""Bounded-tally reservoir mode and probe edge cases."""
+
+import pytest
+
+from repro.sim.monitor import Counter, Gauge, ProbeSet, Tally, TimeSeries
+
+
+class TestBoundedTally:
+    def test_exact_until_reservoir_fills(self):
+        tally = Tally(max_samples=10)
+        values = [float(i) for i in range(10)]
+        tally.extend(values)
+        assert tally.bounded
+        assert tally.samples() == values
+        assert tally.percentile(50) == 4.0  # nearest-rank, exact
+        assert tally.count == 10
+
+    def test_aggregates_stay_exact_past_the_bound(self):
+        bounded = Tally(max_samples=16)
+        exact = Tally()
+        values = [float((i * 37) % 1000) for i in range(5000)]
+        bounded.extend(values)
+        exact.extend(values)
+        assert bounded.count == exact.count == 5000
+        assert len(bounded.samples()) == 16
+        assert bounded.total == pytest.approx(exact.total)
+        assert bounded.mean == pytest.approx(exact.mean)
+        assert bounded.variance == pytest.approx(exact.variance, rel=1e-9)
+        assert bounded.minimum == exact.minimum
+        assert bounded.maximum == exact.maximum
+
+    def test_reservoir_is_deterministic(self):
+        a = Tally(max_samples=8)
+        b = Tally(max_samples=8)
+        values = [float(i) for i in range(1000)]
+        a.extend(values)
+        b.extend(values)
+        assert a.samples() == b.samples()
+
+    def test_percentile_estimate_is_plausible(self):
+        tally = Tally(max_samples=200)
+        tally.extend(float(i) for i in range(10_000))
+        # a uniform reservoir over 0..9999 puts the median well inside
+        # the middle half of the range
+        assert 2500 <= tally.percentile(50) <= 7500
+
+    def test_percentile_cache_dropped_on_in_place_replacement(self):
+        tally = Tally(max_samples=4)
+        tally.extend([1.0, 2.0, 3.0, 4.0])
+        assert tally.percentile(100) == 4.0  # populates the sorted cache
+        # Keep feeding until a replacement lands in the reservoir; the
+        # length stays 4 throughout, so only the explicit invalidation
+        # in record() can keep percentile() honest.
+        before = tally.samples()
+        value = 1000.0
+        while tally.samples() == before:
+            tally.record(value)
+            value += 1.0
+        assert tally.percentile(100) == max(tally.samples())
+
+    def test_reset_restores_empty_state(self):
+        tally = Tally(max_samples=4)
+        tally.extend([5.0, 6.0, 7.0])
+        tally.reset()
+        assert tally.count == 0
+        assert tally.total == 0.0
+        assert tally.snapshot() == {"count": 0}
+        tally.record(2.0)
+        assert tally.minimum == 2.0
+        assert tally.maximum == 2.0
+
+    def test_rejects_non_positive_bound(self):
+        with pytest.raises(ValueError):
+            Tally(max_samples=0)
+        with pytest.raises(ValueError):
+            Tally(max_samples=-5)
+
+    def test_exact_mode_record_stays_bare_append(self):
+        tally = Tally()
+        tally.record(1.0)
+        assert not tally.bounded
+        # hot paths are allowed to append directly in exact mode
+        tally._samples.append(2.0)
+        assert tally.count == 2
+        assert tally.percentile(100) == 2.0
+
+
+class TestExactTallyEdges:
+    def test_percentile_cache_invalidated_after_extend(self):
+        tally = Tally()
+        tally.extend([3.0, 1.0, 2.0])
+        assert tally.percentile(50) == 2.0
+        tally.extend([10.0, 11.0, 12.0, 13.0])
+        assert tally.percentile(100) == 13.0
+        assert tally.percentile(50) == 10.0
+
+    def test_snapshot_empty_and_populated(self):
+        tally = Tally()
+        assert tally.snapshot() == {"count": 0}
+        tally.extend([1.0, 2.0, 3.0, 4.0])
+        snap = tally.snapshot()
+        assert snap["count"] == 4
+        assert snap["min"] == 1.0
+        assert snap["max"] == 4.0
+        assert snap["p50"] == 2.0
+
+
+class TestTimeSeriesEdges:
+    def test_time_average_single_segment(self):
+        series = TimeSeries()
+        series.record(0.0, 7.0)
+        series.record(10.0, 99.0)  # final value is never held
+        assert series.time_average() == pytest.approx(7.0)
+
+    def test_time_average_zero_span(self):
+        series = TimeSeries()
+        series.record(5.0, 3.0)
+        series.record(5.0, 8.0)
+        assert series.time_average() == 3.0
+
+    def test_reset_allows_earlier_times_again(self):
+        series = TimeSeries()
+        series.record(10.0, 1.0)
+        series.reset()
+        series.record(0.0, 2.0)  # would raise without the reset
+        assert series.count == 1
+        assert series.snapshot() == {"count": 1, "first_t": 0.0,
+                                     "last_t": 0.0, "max": 2.0}
+
+
+class TestCounterAndGauge:
+    def test_counter_reset_after_use(self):
+        counter = Counter("c")
+        counter.increment(9)
+        counter.reset()
+        assert counter.value == 0
+        counter.increment()
+        assert counter.value == 1
+
+    def test_gauge_reads_live_state(self):
+        state = {"v": 1}
+        gauge = Gauge("g", lambda: state["v"])
+        assert gauge.value == 1
+        state["v"] = 5
+        assert gauge.value == 5
+
+    def test_probeset_reset_leaves_gauges(self):
+        probes = ProbeSet()
+        probes.counter("hits").increment(3)
+        probes.tally("lat").record(1.0)
+        probes.time_series("occ").record(0.0, 2.0)
+        probes.gauge("live", lambda: 11)
+        probes.reset()
+        snap = probes.snapshot()
+        assert snap["counters"]["hits"] == 0
+        assert snap["tallies"]["lat"] == {"count": 0}
+        assert snap["series"]["occ"] == {"count": 0}
+        assert snap["gauges"]["live"] == 11
+
+    def test_bounded_tally_created_through_probeset(self):
+        probes = ProbeSet()
+        tally = probes.tally("lat", max_samples=4)
+        assert tally.bounded
+        # subsequent lookups return the same instance
+        assert probes.tally("lat") is tally

@@ -1,0 +1,297 @@
+#!/usr/bin/env python
+"""Render a captured trace + metrics snapshot as human-readable reports.
+
+Input is what the observability layer writes (see ``repro.obs``): a JSON
+Lines trace from :meth:`Tracer.write_jsonl` and, optionally, a metrics
+snapshot from :meth:`MetricsRegistry.write_json` (or
+``Network.metrics_snapshot()`` dumped to JSON).  Every ``bench_e*``
+experiment produces both when run with ``--trace-out=DIR``::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_e4_reconfiguration.py \\
+        --trace-out=/tmp/traces
+    PYTHONPATH=src python tools/trace_report.py \\
+        /tmp/traces/<test>.trace.jsonl --metrics /tmp/traces/<test>.metrics.json
+
+Reports:
+
+- **reconfiguration timeline**: every epoch observed in the ``reconfig``
+  category, with its initiator, participant count, settle time (first
+  ``epoch.begin`` to last ``epoch.end``), and whether it was superseded;
+  port-monitor timeouts and skeptic verdict flips are listed inline.
+- **per-VC latency table**: from the metrics snapshot's
+  ``vc<k>.cell_latency`` tallies (any node), plus packet latency.
+- **fabric utilization**: fabric/crossbar nodes' delivered counts and
+  utilization gauges.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.analysis.tables import Table  # noqa: E402
+from repro.obs import read_jsonl  # noqa: E402
+
+
+# ----------------------------------------------------------------------
+# reconfiguration timeline
+# ----------------------------------------------------------------------
+def build_timeline(records: List[Dict[str, Any]]) -> str:
+    """Group ``reconfig`` records by epoch tag and render the timeline."""
+    epochs: Dict[str, Dict[str, Any]] = {}
+    order: List[str] = []
+    monitor_events: List[Dict[str, Any]] = []
+    skeptic_events: List[Dict[str, Any]] = []
+
+    for record in records:
+        if record.get("cat") != "reconfig":
+            continue
+        name = record.get("name", "")
+        data = record.get("data", {})
+        if name.startswith("epoch."):
+            tag = str(data.get("tag", "?"))
+            epoch = epochs.get(tag)
+            if epoch is None:
+                epoch = epochs[tag] = {
+                    "tag": tag,
+                    "triggered_by": None,
+                    "first_begin": None,
+                    "last_end": None,
+                    "participants": set(),
+                    "completions": 0,
+                    "watchdogs": 0,
+                }
+                order.append(tag)
+            t = record["t"]
+            if name == "epoch.trigger":
+                epoch["triggered_by"] = record.get("comp")
+            elif name == "epoch.begin":
+                epoch["participants"].add(record.get("comp"))
+                if epoch["first_begin"] is None or t < epoch["first_begin"]:
+                    epoch["first_begin"] = t
+            elif name == "epoch.end":
+                epoch["completions"] += 1
+                if epoch["last_end"] is None or t > epoch["last_end"]:
+                    epoch["last_end"] = t
+            elif name == "epoch.watchdog":
+                epoch["watchdogs"] += 1
+        elif name == "monitor.timeout":
+            monitor_events.append(record)
+        elif name.startswith("skeptic."):
+            skeptic_events.append(record)
+
+    lines: List[str] = ["Reconfiguration timeline", "========================"]
+    if not epochs:
+        lines.append("(no reconfiguration events in trace)")
+    table = Table(
+        ["epoch tag", "initiator", "begin (us)", "settle (us)",
+         "participants", "completed", "status"],
+    )
+    for tag in order:
+        epoch = epochs[tag]
+        participants = len(epoch["participants"])
+        begin = epoch["first_begin"]
+        if epoch["last_end"] is not None and begin is not None:
+            settle = epoch["last_end"] - begin
+        else:
+            settle = None
+        if epoch["completions"] and epoch["completions"] >= participants:
+            status = "settled"
+        elif epoch["completions"]:
+            status = "partial"
+        else:
+            status = "superseded"
+        if epoch["watchdogs"]:
+            status += f" ({epoch['watchdogs']} watchdog)"
+        table.add_row(
+            tag,
+            epoch["triggered_by"] or "-",
+            begin if begin is not None else "-",
+            settle if settle is not None else "-",
+            participants,
+            epoch["completions"],
+            status,
+        )
+    if epochs:
+        lines.append(table.render())
+
+    if skeptic_events:
+        lines.append("")
+        verdicts = Table(
+            ["t (us)", "port", "event", "detail"], title="Skeptic verdicts"
+        )
+        for record in skeptic_events:
+            data = record.get("data", {})
+            if record["name"] == "skeptic.verdict":
+                detail = f"-> {data.get('verdict')} (level {data.get('level')})"
+            elif record["name"] == "skeptic.probation":
+                detail = f"probation until {data.get('until')}"
+            else:
+                detail = f"failure in {data.get('state')} (level {data.get('level')})"
+            verdicts.add_row(
+                record["t"], record.get("comp", "-"),
+                record["name"].split(".", 1)[1], detail,
+            )
+        lines.append(verdicts.render())
+
+    if monitor_events:
+        lines.append("")
+        shown = monitor_events[:20]
+        timeouts = Table(
+            ["t (us)", "port", "seq", "misses"],
+            title=f"Port-monitor timeouts ({len(monitor_events)} total"
+            + (", first 20 shown)" if len(monitor_events) > 20 else ")"),
+        )
+        for record in shown:
+            data = record.get("data", {})
+            timeouts.add_row(
+                record["t"], record.get("comp", "-"),
+                data.get("seq", "-"),
+                f"{data.get('misses', '-')}/{data.get('threshold', '-')}",
+            )
+        lines.append(timeouts.render())
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# per-VC latency
+# ----------------------------------------------------------------------
+def build_vc_latency(snapshot: Dict[str, Any]) -> str:
+    lines = ["Per-VC latency", "=============="]
+    table = Table(
+        ["node", "vc", "cells", "mean (us)", "p50", "p90", "p99", "max"]
+    )
+    found = 0
+    for path in sorted(snapshot):
+        tallies = snapshot[path].get("tallies", {})
+        for name in sorted(tallies):
+            if not name.endswith(".cell_latency"):
+                continue
+            stats = tallies[name]
+            if not stats.get("count"):
+                continue
+            found += 1
+            vc = name.split(".", 1)[0]
+            table.add_row(
+                path, vc, stats["count"], stats["mean"],
+                stats["p50"], stats["p90"], stats["p99"], stats["max"],
+            )
+    if found:
+        lines.append(table.render())
+    else:
+        lines.append("(no cell-latency tallies in snapshot)")
+
+    packet = Table(["node", "packets", "mean (us)", "p50", "p99", "max"],
+                   title="Packet latency")
+    have_packets = 0
+    for path in sorted(snapshot):
+        stats = snapshot[path].get("tallies", {}).get("packet_latency")
+        if not stats or not stats.get("count"):
+            continue
+        have_packets += 1
+        packet.add_row(
+            path, stats["count"], stats["mean"], stats["p50"],
+            stats["p99"], stats["max"],
+        )
+    if have_packets:
+        lines.append("")
+        lines.append(packet.render())
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# fabric utilization
+# ----------------------------------------------------------------------
+def build_fabric_summary(snapshot: Dict[str, Any]) -> str:
+    lines = ["Fabric utilization", "=================="]
+    table = Table(
+        ["node", "slots", "delivered", "dropped", "utilization",
+         "latency p99 (slots)"]
+    )
+    found = 0
+    for path in sorted(snapshot):
+        node = snapshot[path]
+        gauges = node.get("gauges", {})
+        if "utilization" not in gauges:
+            continue
+        found += 1
+        latency = node.get("tallies", {}).get("latency_slots", {})
+        slots = gauges.get("slots", gauges.get("cells_transferred", 0))
+        table.add_row(
+            path,
+            slots,
+            gauges.get("cells_delivered", gauges.get("cells_transferred", 0)),
+            gauges.get("cells_dropped", 0),
+            f"{gauges['utilization']:.3f}",
+            latency.get("p99", "-") if latency.get("count") else "-",
+        )
+    if found:
+        lines.append(table.render())
+    else:
+        lines.append("(no fabric/crossbar nodes in snapshot)")
+    return "\n".join(lines)
+
+
+def build_trace_summary(records: List[Dict[str, Any]]) -> str:
+    by_cat: Dict[str, int] = {}
+    for record in records:
+        cat = record.get("cat", "?")
+        by_cat[cat] = by_cat.get(cat, 0) + 1
+    t_lo = min((r["t"] for r in records), default=0)
+    t_hi = max((r["t"] for r in records), default=0)
+    parts = ", ".join(f"{c}={n}" for c, n in sorted(by_cat.items()))
+    return (
+        f"{len(records)} trace records over t=[{t_lo:.1f}, {t_hi:.1f}] "
+        f"({parts})"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Render a JSONL trace and metrics snapshot as reports."
+    )
+    parser.add_argument("trace", help="JSONL trace file (Tracer.write_jsonl)")
+    parser.add_argument(
+        "--metrics", default=None,
+        help="metrics snapshot JSON (MetricsRegistry.write_json)",
+    )
+    parser.add_argument(
+        "--section", choices=["timeline", "latency", "fabric", "all"],
+        default="all",
+    )
+    args = parser.parse_args(argv)
+
+    records = read_jsonl(args.trace)
+    print(build_trace_summary(records))
+    print()
+    sections: List[str] = []
+    if args.section in ("timeline", "all"):
+        sections.append(build_timeline(records))
+    snapshot: Dict[str, Any] = {}
+    if args.metrics:
+        with open(args.metrics, "r", encoding="utf-8") as stream:
+            snapshot = json.load(stream)
+    if args.section in ("latency", "all"):
+        if snapshot:
+            sections.append(build_vc_latency(snapshot))
+        elif args.section == "latency":
+            sections.append("(no metrics snapshot given: use --metrics)")
+    if args.section in ("fabric", "all"):
+        if snapshot:
+            sections.append(build_fabric_summary(snapshot))
+        elif args.section == "fabric":
+            sections.append("(no metrics snapshot given: use --metrics)")
+    print("\n\n".join(sections))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
