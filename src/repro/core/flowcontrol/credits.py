@@ -40,6 +40,15 @@ class UpstreamCredits:
     cells_sent: int = 0
     credits_received: int = 0
     stalls: int = 0  # times a send was attempted/needed with zero balance
+    #: credits received (or resync corrections) beyond the allocation --
+    #: duplicated credit cells, or stale credits arriving after a resync
+    #: already restored the window.  Clamped, counted, never delivered.
+    excess_credits: int = 0
+    #: protocol-conformance mode: raise :class:`CreditError` on excess
+    #: credit instead of clamping.  Fault scenarios *produce* duplicate
+    #: and stale credits, so operational code leaves this off; strict
+    #: tests of the protocol itself opt in.
+    strict: bool = False
     trace: Optional[Callable[[str, dict], Any]] = field(
         default=None, repr=False, compare=False
     )
@@ -63,15 +72,26 @@ class UpstreamCredits:
         self.cells_sent += 1
 
     def credit(self, amount: int = 1) -> None:
-        """A credit cell arrived from downstream."""
+        """A credit cell arrived from downstream.
+
+        A balance that would exceed the allocation (a duplicated credit
+        cell, or a stale one arriving after resynchronization already
+        restored the window) is clamped and counted in
+        :attr:`excess_credits`; with :attr:`strict` set it raises
+        instead.
+        """
         if amount <= 0:
             raise CreditError(f"non-positive credit {amount}")
         self.balance += amount
         self.credits_received += amount
         if self.balance > self.allocation:
-            raise CreditError(
-                f"balance {self.balance} exceeds allocation {self.allocation}"
-            )
+            if self.strict:
+                raise CreditError(
+                    f"balance {self.balance} exceeds allocation "
+                    f"{self.allocation}"
+                )
+            self.excess_credits += self.balance - self.allocation
+            self.balance = self.allocation
         if self.trace is not None:
             self.trace("credit.grant", {"amount": amount, "balance": self.balance})
             if self._stalled:
@@ -99,9 +119,18 @@ class UpstreamCredits:
         correct = self.allocation - in_flight_or_buffered
         recovered = correct - self.balance
         if recovered < 0:
-            raise CreditError(
-                f"resync would *reduce* balance ({self.balance} -> {correct})"
-            )
+            # The balance is *too high* -- duplicated or stale credits
+            # inflated it.  The counter-derived value is exact, so in the
+            # default mode adopt it (counting the excess); strict mode
+            # keeps the protocol-conformance raise.
+            if self.strict:
+                raise CreditError(
+                    f"resync would *reduce* balance "
+                    f"({self.balance} -> {correct})"
+                )
+            self.excess_credits += -recovered
+            self.balance = correct
+            return 0
         self.balance = correct
         return recovered
 

@@ -59,6 +59,10 @@ class ResyncState:
         self.requests_sent = 0
         self.replies_applied = 0
         self.credits_recovered = 0
+        #: replies whose counters cannot belong to this upstream
+        #: incarnation (e.g. the circuit was rerouted and the downstream
+        #: counter is cumulative over an older path) -- discarded.
+        self.incoherent_replies = 0
 
     def make_request(self) -> ResyncRequest:
         """Snapshot the transmit counter into a request message."""
@@ -75,6 +79,17 @@ class ResyncState:
         if reply.vc != self.vc:
             raise ValueError(f"reply for vc {reply.vc} given to vc {self.vc}")
         if reply.cells_sent_echo != self.upstream.cells_sent:
+            return 0
+        in_flight = reply.cells_sent_echo - reply.buffers_freed
+        if in_flight < 0 or in_flight > self.upstream.allocation:
+            # Within one incarnation of the circuit 0 <= in_flight <=
+            # allocation always holds (FIFO links; sends gated on the
+            # window).  A reply outside that range pairs counters from
+            # *different* incarnations -- e.g. the route moved and this
+            # upstream state is fresh while the downstream counter is
+            # still cumulative over the old path.  Unusable; discard and
+            # let the next periodic request resynchronize from scratch.
+            self.incoherent_replies += 1
             return 0
         recovered = self.upstream.resynchronize(reply.buffers_freed)
         if recovered:

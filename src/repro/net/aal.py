@@ -79,6 +79,10 @@ class Reassembler:
         self._partial: Dict[VcId, List[Cell]] = {}
         self.packets_completed = 0
         self.cells_accepted = 0
+        #: stale partials discarded when a *new* packet's first cell
+        #: resynchronized the stream (each is one corrupted packet the
+        #: caller must account for, even though no error was raised).
+        self.packets_aborted = 0
 
     def pending_cells(self, vc: VcId) -> int:
         """Cells buffered for an incomplete packet on ``vc``."""
@@ -89,16 +93,34 @@ class Reassembler:
 
         Raises :class:`ReassemblyError` on sequence gaps (a dropped or
         reordered cell) so callers can count corrupted packets instead of
-        delivering garbage.
+        delivering garbage.  When the offending cell is the seq-0 head of
+        a *different* packet, the stale partial is charged to
+        :attr:`packets_aborted` and the cell is re-accepted into a fresh
+        buffer instead of raising, so one lost tail cell costs exactly
+        one packet.
         """
         if not cell.is_data:
             raise ReassemblyError(f"non-data cell {cell!r} fed to reassembler")
         partial = self._partial.setdefault(cell.vc, [])
         if cell.seq != len(partial):
-            got = cell.seq
+            expected = len(partial)
             self._partial[cell.vc] = []
+            if (
+                cell.seq == 0
+                and partial
+                and cell.packet_id != partial[0].packet_id
+            ):
+                # The previous packet's tail was lost and this cell opens
+                # the *next* packet.  Discard the stale partial (exactly
+                # one packet charged, via ``packets_aborted``) and
+                # resynchronize on this cell instead of also discarding
+                # it -- otherwise its own seq-1 cell would mismatch the
+                # emptied buffer and a single lost cell would corrupt two
+                # packets.
+                self.packets_aborted += 1
+                return self.accept(cell)
             raise ReassemblyError(
-                f"vc {cell.vc}: expected cell seq {len(partial)}, got {got}"
+                f"vc {cell.vc}: expected cell seq {expected}, got {cell.seq}"
             )
         if partial and cell.packet_id != partial[0].packet_id:
             self._partial[cell.vc] = []

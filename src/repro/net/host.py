@@ -473,11 +473,17 @@ class Host(Node):
             self.cell_latency[cell.vc] = tally
         tally.record(self.sim.now - cell.created_at)
         self.cell_arrivals.setdefault(cell.vc, []).append(self.sim.now)
+        aborted_before = self.reassembler.packets_aborted
         try:
             packet = self.reassembler.accept(cell)
         except ReassemblyError:
             self.reassembly_errors += 1
             return
+        # A stale partial discarded during seq-0 resynchronization is a
+        # corrupted packet too, even though the cell itself was accepted.
+        self.reassembly_errors += (
+            self.reassembler.packets_aborted - aborted_before
+        )
         if packet is not None:
             packet.delivered_at = self.sim.now
             self.delivered.append(packet)

@@ -17,6 +17,7 @@ precisely because "a faulty link may exhibit intermittent failures".
 from __future__ import annotations
 
 import enum
+import hashlib
 from typing import TYPE_CHECKING, Callable, List, Optional
 
 from repro.constants import CELL_BITS, FAST_LINK_BPS, PROPAGATION_US_PER_KM
@@ -68,7 +69,12 @@ class Link:
         #: of ``error_rate``.  Tests use this to lose, e.g., only CREDIT
         #: cells, exercising the resynchronization machinery surgically.
         self.drop_filter: Optional[Callable[[Cell], bool]] = None
-        self._rng = rng if rng is not None else _random_module.Random(0)
+        # Without an explicit RNG, derive a per-link substream keyed by
+        # the endpoint labels.  A shared Random(0) here would make every
+        # link in the network draw *identical* error streams -- injected
+        # errors perfectly correlated across links, which no real cable
+        # plant exhibits and which defeats independent-fault experiments.
+        self._rng = rng if rng is not None else self._default_rng()
         self._next_free = [0.0, 0.0]  # per-direction serialization horizon
         self.cells_delivered = 0
         self.cells_dropped = 0
@@ -84,6 +90,18 @@ class Link:
         port_b.attach(self, 1)
 
     # ------------------------------------------------------------------
+    def _default_rng(self) -> _random_module.Random:
+        """A deterministic substream keyed by this link's endpoints.
+
+        Mirrors the :class:`~repro.sim.random.RandomStreams` discipline
+        (seed hashed with a stable name) so links built outside a
+        :class:`~repro.net.network.Network` still get decorrelated,
+        reproducible error streams.
+        """
+        name = f"link/{self.port_a.label}/{self.port_b.label}"
+        digest = hashlib.sha256(name.encode("utf-8")).digest()
+        return _random_module.Random(int.from_bytes(digest[:8], "big"))
+
     @property
     def working(self) -> bool:
         return self.state is LinkState.WORKING

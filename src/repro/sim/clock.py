@@ -50,6 +50,22 @@ class DriftingClock:
             raise ValueError(f"negative delay {local_delay}")
         return local_delay / self._rate
 
+    def set_drift(self, drift_ppm: float) -> None:
+        """Step the oscillator rate without a phase jump.
+
+        Fault scenarios use this to model an oscillator going out of
+        spec mid-run.  The offset is recomputed so that ``local_now()``
+        is continuous across the step -- only the *rate* changes, the
+        local clock never jumps backwards or forwards.
+        """
+        rate = 1.0 + drift_ppm * 1e-6
+        if rate <= 0:
+            raise ValueError(f"drift {drift_ppm} ppm gives non-positive rate")
+        local = self.local_now()
+        self.drift_ppm = drift_ppm
+        self._rate = rate
+        self.offset = local - self.sim.now * rate
+
     def local_delay(self, global_delay: float) -> float:
         """Local duration that elapses over a global (simulator) delay."""
         if global_delay < 0:

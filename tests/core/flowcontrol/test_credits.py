@@ -40,10 +40,42 @@ class TestUpstream:
         upstream.credit()
         assert upstream.balance == 2
 
-    def test_credit_overflow_detected(self):
+    def test_duplicate_credit_clamps_and_counts(self):
+        # A duplicated (or post-resync stale) credit cell must degrade
+        # gracefully: clamp to the allocation, count the excess.
         upstream = UpstreamCredits(2)
+        upstream.credit()
+        assert upstream.balance == 2
+        assert upstream.excess_credits == 1
+        upstream.consume()
+        upstream.credit(3)
+        assert upstream.balance == 2
+        assert upstream.excess_credits == 3
+
+    def test_credit_overflow_raises_in_strict_mode(self):
+        upstream = UpstreamCredits(2, strict=True)
         with pytest.raises(CreditError):
             upstream.credit()
+
+    def test_stale_credits_corrected_by_resync(self):
+        # Inflated balance (clamped duplicates) is restored to the
+        # counter-derived exact value by resynchronization.
+        upstream = UpstreamCredits(4)
+        for _ in range(2):
+            upstream.consume()
+        upstream.credit(4)  # two real credits + two duplicates, clamped
+        assert upstream.balance == 4
+        # Downstream actually freed nothing: correct balance is 2.
+        assert upstream.resynchronize(downstream_freed_total=0) == 0
+        assert upstream.balance == 2
+        assert upstream.excess_credits == 4
+
+    def test_strict_resync_never_reduces(self):
+        upstream = UpstreamCredits(4, strict=True)
+        upstream.consume()
+        upstream.credit(1)
+        with pytest.raises(CreditError):
+            upstream.resynchronize(downstream_freed_total=0)
 
     def test_invalid_amounts(self):
         with pytest.raises(CreditError):
@@ -69,10 +101,11 @@ class TestUpstream:
         assert upstream.resynchronize(downstream_freed_total=0) == 0
         assert upstream.balance == 3
 
-    def test_resynchronize_never_reduces(self):
+    def test_resynchronize_rejects_impossible_counters(self):
         upstream = UpstreamCredits(4)
+        upstream.consume()
         with pytest.raises(CreditError):
-            upstream.resynchronize(downstream_freed_total=-1)
+            upstream.resynchronize(downstream_freed_total=2)
 
 
 class TestDownstream:

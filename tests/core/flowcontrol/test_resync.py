@@ -73,6 +73,32 @@ def test_cells_still_buffered_downstream_counted():
     assert upstream.balance == 2
 
 
+def test_incoherent_reply_from_old_incarnation_discarded():
+    """After a reroute the upstream state is rebuilt fresh, but the
+    downstream's cumulative counter still covers the old path.  The
+    resulting reply (freed > sent) must be discarded, not crash."""
+    upstream = UpstreamCredits(5)
+    state = ResyncState(7, upstream)
+    for _ in range(3):
+        upstream.consume()
+    reply = ResyncReply(7, upstream.cells_sent, 60)  # old-path counter
+    assert state.apply_reply(reply) == 0
+    assert upstream.balance == 2  # untouched
+    assert state.incoherent_replies == 1
+    assert state.replies_applied == 0
+
+
+def test_reply_claiming_impossible_in_flight_discarded():
+    """freed so far behind sent that in_flight > allocation can only
+    mean the downstream counter was reset (other-side restart)."""
+    upstream = UpstreamCredits(3)
+    state = ResyncState(7, upstream)
+    upstream.cells_sent = 40  # long-lived upstream incarnation
+    reply = ResyncReply(7, 40, 2)  # in_flight = 38 > allocation
+    assert state.apply_reply(reply) == 0
+    assert state.incoherent_replies == 1
+
+
 def test_wrong_vc_rejected():
     state = ResyncState(2, UpstreamCredits(2))
     with pytest.raises(ValueError):

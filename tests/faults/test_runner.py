@@ -1,0 +1,238 @@
+"""ScenarioRunner mechanics: fault application, traffic, determinism,
+observability wiring, and the invariant checker."""
+
+import pytest
+
+from repro.faults import (
+    ClockDriftStep,
+    CreditLossBurst,
+    ErrorRateStep,
+    FaultPlan,
+    LinkCut,
+    LinkFlap,
+    ScenarioRunner,
+    TrafficLoad,
+    max_verdict_changes,
+)
+from repro.net.host import HostConfig
+from repro.net.network import Network
+from repro.net.topology import Topology
+from repro.obs import Tracer
+from repro.switch.switch import SwitchConfig
+
+from tests.conftest import fast_host_config, fast_switch_config
+
+
+def ring_net(seed: int = 1, **overrides) -> Network:
+    """h0 - (s0 s1 s2 ring) - h1: redundant, so cuts do not partition."""
+    topo = Topology.ring(3)
+    topo.add_host(0)
+    topo.add_host(1)
+    topo.connect("h0", "s0", port_a=0, bps=622_000_000)
+    topo.connect("h0", "s1", port_a=1, bps=622_000_000)
+    topo.connect("h1", "s2", port_a=0, bps=622_000_000)
+    topo.connect("h1", "s1", port_a=1, bps=622_000_000)
+    overrides.setdefault("resync_interval_us", 5_000.0)
+    overrides.setdefault("enable_local_reroute", True)
+    return Network(
+        topo,
+        seed=seed,
+        switch_config=fast_switch_config(**overrides),
+        host_config=fast_host_config(),
+    )
+
+
+LOAD = TrafficLoad(
+    source="h0", destination="h1", packet_size=200,
+    interval_us=2_000.0, count=30,
+)
+
+
+def run(net, plan, loads=(LOAD,), **kwargs):
+    kwargs.setdefault("settle_us", 60_000.0)
+    return ScenarioRunner(net, plan, loads, **kwargs).run()
+
+
+class TestFaultApplication:
+    def test_link_cut_and_restore(self):
+        net = ring_net()
+        plan = FaultPlan.of(
+            LinkCut(at_us=20_000.0, a="s0", b="s2", restore_at_us=60_000.0),
+        )
+        result = run(net, plan)
+        assert net.link_between("s0", "s2").working
+        counters = net.metrics_snapshot()["faults"]["counters"]
+        assert counters["link_cuts"] == 1
+        assert result.faults_applied == 1
+        assert result.passed, result.report()
+
+    def test_flap_train_counts_every_transition(self):
+        net = ring_net()
+        plan = FaultPlan.of(
+            LinkFlap(at_us=20_000.0, a="s0", b="s2", flaps=3,
+                     down_us=2_000.0, up_us=2_000.0),
+        )
+        result = run(net, plan)
+        counters = net.metrics_snapshot()["faults"]["counters"]
+        assert counters["flap_transitions"] == 6  # 3 downs + 3 ups
+        assert net.link_between("s0", "s2").working
+        assert result.passed, result.report()
+
+    def test_credit_burst_drops_and_unhooks(self):
+        net = ring_net()
+        plan = FaultPlan.of(
+            CreditLossBurst(at_us=10_000.0, a="s1", b="s2",
+                            duration_us=30_000.0, probability=1.0),
+            CreditLossBurst(at_us=10_000.0, a="s0", b="s1",
+                            duration_us=30_000.0, probability=1.0),
+            CreditLossBurst(at_us=10_000.0, a="s0", b="s2",
+                            duration_us=30_000.0, probability=1.0),
+        )
+        result = run(net, plan)
+        # Whatever route the circuit took, one burst covered it.
+        counters = net.metrics_snapshot()["faults"]["counters"]
+        assert counters["credit_cells_dropped"] > 0
+        for link in net.links.values():
+            assert link.drop_filter is None
+        assert result.passed, result.report()
+
+    def test_error_step_reverts_rate(self):
+        net = ring_net()
+        plan = FaultPlan.of(
+            ErrorRateStep(at_us=20_000.0, a="s0", b="s2",
+                          rate=0.5, until_us=40_000.0),
+        )
+        run(net, plan)
+        assert net.link_between("s0", "s2").error_rate == 0.0
+
+    def test_clock_drift_step_applied(self):
+        net = ring_net()
+        plan = FaultPlan.of(
+            ClockDriftStep(at_us=20_000.0, switch="s1", drift_ppm=150.0),
+        )
+        run(net, plan)
+        assert net.switch("s1").clock.drift_ppm == 150.0
+
+
+class TestTrafficAndDeterminism:
+    def test_recorded_payloads_match_deliveries(self):
+        net = ring_net()
+        result = run(net, FaultPlan())
+        assert result.passed, result.report()
+        total_sent = sum(len(p) for p in result.sent.values())
+        assert total_sent == LOAD.count
+        assert result.delivered == LOAD.count
+        delivered = {p.uid: p for p in net.host("h1").delivered}
+        for packets in result.sent.values():
+            for sent_packet in packets:
+                assert delivered[sent_packet.uid].payload == sent_packet.payload
+
+    def test_same_seed_replays_exactly(self):
+        outcomes = []
+        for _ in range(2):
+            net = ring_net(seed=9)
+            plan = FaultPlan.of(
+                CreditLossBurst(at_us=10_000.0, a="s0", b="s1",
+                                duration_us=20_000.0, probability=0.7),
+                LinkCut(at_us=40_000.0, a="s0", b="s2",
+                        restore_at_us=60_000.0),
+            )
+            result = run(net, plan)
+            counters = net.metrics_snapshot()["faults"]["counters"]
+            payload_digest = [
+                p.payload
+                for packets in result.sent.values()
+                for p in packets
+            ]
+            outcomes.append(
+                (
+                    result.delivered,
+                    result.settled_at_us,
+                    counters.get("credit_cells_dropped", 0),
+                    payload_digest,
+                )
+            )
+        assert outcomes[0] == outcomes[1]
+
+    def test_boot_failure_is_a_scenario_error(self):
+        from repro.faults import ScenarioError
+
+        # A timeout too short for even fast configs to reconfigure in.
+        net = Network(Topology.line(2), switch_config=fast_switch_config())
+        with pytest.raises(ScenarioError):
+            ScenarioRunner(net, FaultPlan(), convergence_timeout_us=1.0).run()
+
+
+class TestObservability:
+    def test_trace_spans_per_fault(self):
+        net = ring_net()
+        tracer = Tracer(categories={"faults"})
+        net.sim.tracer = tracer
+        plan = FaultPlan.of(
+            LinkCut(at_us=20_000.0, a="s0", b="s2", restore_at_us=50_000.0),
+        )
+        run(net, plan)
+        names = [r.name for r in tracer.records]
+        assert "fault.link_cut.begin" in names
+        assert "fault.link_cut.end" in names
+        assert "scenario.begin" in names
+        assert "scenario.end" in names
+        begin = next(r for r in tracer.records if r.name == "fault.link_cut.begin")
+        end = next(r for r in tracer.records if r.name == "fault.link_cut.end")
+        assert end.time - begin.time == pytest.approx(30_000.0)
+
+    def test_metrics_registered_under_faults_node(self):
+        net = ring_net()
+        run(net, FaultPlan.of(LinkFlap(at_us=10_000.0, a="s0", b="s2",
+                                       flaps=1, down_us=1_000.0,
+                                       up_us=1_000.0)))
+        assert "faults" in net.registry
+        counters = net.metrics_snapshot()["faults"]["counters"]
+        assert counters["events_applied"] >= 2
+
+
+class TestInvariantChecker:
+    def test_quiet_network_passes_everything(self):
+        net = ring_net()
+        result = run(net, FaultPlan())
+        assert result.passed
+        names = [r.name for r in result.invariants]
+        assert "reconfiguration converged" in names
+        assert "skeptic verdict rate bounded" in names
+        assert "credit conservation" in names
+        assert "no silent mis-assembly" in names
+
+    def test_partition_converges_on_main_component(self):
+        # Cut both of s2's trunks permanently: the switch core shrinks
+        # to {s0, s1}.  Convergence is judged on the main component --
+        # it must still settle on one epoch matching the new reality.
+        net = ring_net()
+        plan = FaultPlan.of(
+            LinkCut(at_us=20_000.0, a="s0", b="s2"),
+            LinkCut(at_us=20_000.0, a="s1", b="s2"),
+        )
+        result = run(net, plan)
+        convergence = next(
+            r for r in result.invariants if r.name == "reconfiguration converged"
+        )
+        assert convergence.passed, convergence.detail
+        assert [str(s) for s in net.main_component_switches()] == ["s0", "s1"]
+
+    def test_misassembly_checker_catches_forged_delivery(self):
+        from repro.faults.invariants import check_no_misassembly
+        from repro.net.packet import Packet
+
+        net = ring_net()
+        result = run(net, FaultPlan())
+        assert result.passed
+        # Corrupt a delivered payload post hoc: the checker must notice.
+        victim = net.host("h1").delivered[0]
+        victim.payload = b"forged" + victim.payload[6:]
+        verdict = check_no_misassembly(net, result.sent)
+        assert not verdict.passed
+        assert "corrupted" in verdict.detail
+
+    def test_bound_grows_with_duration(self):
+        short = max_verdict_changes(10_000.0, 2_000.0, 4, 200_000.0)
+        long = max_verdict_changes(1_000_000.0, 2_000.0, 4, 200_000.0)
+        assert long > short >= 2

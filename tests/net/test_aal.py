@@ -154,3 +154,49 @@ def test_non_data_cell_rejected():
 @given(payload=st.binary(min_size=0, max_size=2000))
 def test_roundtrip_property(payload):
     assert roundtrip(payload).payload == payload
+
+
+def test_lost_eop_cell_corrupts_exactly_one_packet():
+    """Regression: when a packet's final cell is dropped, the next
+    packet's seq-0 cell used to hit the stale partial, raise, and be
+    discarded too -- so its seq-1 cell mismatched the emptied buffer and
+    a single lost cell corrupted *two* packets.  The reassembler now
+    resynchronizes on the new packet's head."""
+    a = Packet(host_id(0), host_id(1), payload=b"a" * (CELL_PAYLOAD_BYTES * 2))
+    b = Packet(host_id(0), host_id(1), payload=b"b" * (CELL_PAYLOAD_BYTES * 2))
+    cells_a = Segmenter(5).segment(a)
+    cells_b = Segmenter(5).segment(b)
+    reassembler = Reassembler()
+    reassembler.accept(cells_a[0])
+    # cells_a[1] -- the end-of-packet cell -- is lost on the wire.
+    delivered = []
+    for cell in cells_b:
+        result = reassembler.accept(cell)  # must not raise
+        if result is not None:
+            delivered.append(result)
+    assert [p.payload for p in delivered] == [b.payload]
+    assert reassembler.packets_aborted == 1
+
+
+def test_resync_delivers_a_single_cell_packet():
+    """The resynchronizing cell may itself be a whole packet (seq 0 with
+    the end-of-packet flag): it must be delivered, not just buffered."""
+    a = Packet(host_id(0), host_id(1), payload=b"a" * (CELL_PAYLOAD_BYTES * 2))
+    b = Packet(host_id(0), host_id(1), payload=b"tiny")
+    reassembler = Reassembler()
+    reassembler.accept(Segmenter(5).segment(a)[0])  # EOP of `a` lost
+    result = reassembler.accept(Segmenter(5).segment(b)[0])
+    assert result is not None and result.payload == b"tiny"
+    assert reassembler.packets_aborted == 1
+
+
+def test_duplicate_head_of_same_packet_still_raises():
+    """Resynchronization applies only to a *different* packet's head; a
+    duplicated seq-0 cell of the packet being assembled is still a
+    sequence error."""
+    a = Packet(host_id(0), host_id(1), payload=b"a" * (CELL_PAYLOAD_BYTES * 2))
+    cells = Segmenter(5).segment(a)
+    reassembler = Reassembler()
+    reassembler.accept(cells[0])
+    with pytest.raises(ReassemblyError):
+        reassembler.accept(cells[0])

@@ -62,3 +62,24 @@ def test_absurd_drift_rejected():
     sim = Simulator()
     with pytest.raises(ValueError):
         DriftingClock(sim, drift_ppm=-2_000_000.0)
+
+
+def test_set_drift_changes_rate_without_phase_jump():
+    sim = Simulator()
+    clock = DriftingClock(sim, drift_ppm=100.0)
+    sim.run(until=1_000_000.0)
+    before = clock.local_now()
+    clock.set_drift(-300.0)
+    # Continuity: the local clock does not jump at the step...
+    assert clock.local_now() == pytest.approx(before)
+    # ...but from here on it runs at the new rate.
+    sim.run(until=2_000_000.0)
+    assert clock.local_now() == pytest.approx(before + 1_000_000.0 - 300.0)
+    assert clock.drift_ppm == -300.0
+
+
+def test_set_drift_rejects_impossible_rate():
+    sim = Simulator()
+    clock = DriftingClock(sim)
+    with pytest.raises(ValueError):
+        clock.set_drift(-2_000_000.0)
