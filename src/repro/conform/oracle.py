@@ -1,0 +1,390 @@
+"""Differential oracles: reference vs fast-path, AN1 vs AN2.
+
+Two families of cross-checks, both reporting the *first* divergence they
+find as a :class:`Divergence` (never just a boolean -- a conformance
+failure must say exactly where the implementations disagreed):
+
+- **Matchers** -- :func:`compare_matchers` drives a reference scheduler
+  (:class:`~repro.core.matching.pim.ParallelIterativeMatcher`,
+  :class:`~repro.core.matching.islip.IslipMatcher`,
+  :class:`~repro.core.matching.fifo.FifoScheduler`) and its bitmask
+  counterpart (strict-RNG mode) cell by cell through two identically-fed
+  fabrics from identical seeds, comparing every slot's full matching.
+  This checks the matchers *and* the fabric's incremental mask
+  bookkeeping against the set-based reference path in one sweep.
+- **Routing** -- :func:`compare_routing` builds the same up*/down*
+  orientation twice over a shared topology and cross-checks AN1's
+  hop-by-hop forwarding (``next_hop`` with the gone-down bit, the
+  :class:`~repro.switch.an1.An1Switch` discipline) against AN2's
+  end-to-end ``shortest_legal_path`` for every switch pair: the walk
+  must terminate, stay legal, and be exactly as short as the end-to-end
+  path; and the end-to-end answer must be identical across independently
+  constructed orientations (no hash-order sensitivity).
+
+:func:`matcher_sweep` / :func:`routing_sweep` run these over a seeded
+grid of sizes and load patterns and also return plain-data records
+(including a hash of every slot's matching) suitable for committing as a
+regression corpus.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.matching.bitmask import (
+    BitmaskFifoScheduler,
+    BitmaskIslip,
+    BitmaskPim,
+)
+from repro.core.matching.fifo import FifoScheduler
+from repro.core.matching.islip import IslipMatcher
+from repro.core.matching.pim import MatchResult, ParallelIterativeMatcher
+from repro.core.routing.updown import UpDownOrientation
+from repro.net.topology import Topology
+from repro.sim.random import derived_stream
+from repro.switch.fabric import FifoFabric, VoqFabric
+from repro.traffic.arrivals import (
+    ArrivalProcess,
+    BernoulliUniform,
+    BurstyOnOff,
+    Hotspot,
+    Permutation,
+)
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """The first point where two implementations disagreed."""
+
+    kind: str        # "matcher" or "routing"
+    pair: str        # e.g. "pim", "fifo", "an1-vs-an2"
+    seed: int
+    size: int        # fabric ports / topology switches
+    case: str        # load pattern name / "src->dst" switch pair
+    round: int       # slot index / hop index
+    port: int        # first divergent input port (-1 when not port-shaped)
+    reference: Any   # what the reference produced there
+    candidate: Any   # what the implementation under test produced
+
+    def __str__(self) -> str:
+        return (
+            f"{self.kind}:{self.pair} diverged (seed={self.seed}, "
+            f"size={self.size}, case={self.case}) at round {self.round} "
+            f"port {self.port}: reference={self.reference!r} "
+            f"candidate={self.candidate!r}"
+        )
+
+
+# ======================================================================
+# matcher differential
+# ======================================================================
+MATCHER_KINDS = ("pim", "islip", "fifo")
+
+#: pattern name -> factory(n_ports, rng) for the sweep's load patterns.
+PATTERNS: Dict[str, Callable[[int, random.Random], ArrivalProcess]] = {
+    "bernoulli-0.6": lambda n, rng: BernoulliUniform(n, 0.6, rng=rng),
+    "bernoulli-0.95": lambda n, rng: BernoulliUniform(n, 0.95, rng=rng),
+    "hotspot": lambda n, rng: Hotspot(
+        n, 0.8, hot_output=0, hot_fraction=0.5, rng=rng
+    ),
+    "bursty": lambda n, rng: BurstyOnOff(n, 0.7, mean_burst=8.0, rng=rng),
+    "permutation": lambda n, rng: Permutation(n, 0.9, rng=rng),
+}
+
+
+def _seeded_rng(label: str, seed: int) -> random.Random:
+    return derived_stream(f"conform.oracle/{label}", seed)
+
+
+def _build_pair(kind: str, n_ports: int, seed: int):
+    """(reference fabric, candidate fabric) with identically-seeded RNGs."""
+    if kind == "pim":
+        reference = VoqFabric(
+            n_ports,
+            ParallelIterativeMatcher(
+                n_ports, iterations=3, rng=_seeded_rng("pim", seed)
+            ),
+        )
+        candidate = VoqFabric(
+            n_ports,
+            BitmaskPim(
+                n_ports,
+                iterations=3,
+                rng=_seeded_rng("pim", seed),
+                strict_rng=True,
+            ),
+        )
+    elif kind == "islip":
+        reference = VoqFabric(n_ports, IslipMatcher(n_ports, iterations=3))
+        candidate = VoqFabric(n_ports, BitmaskIslip(n_ports, iterations=3))
+    elif kind == "fifo":
+        reference = FifoFabric(
+            n_ports, FifoScheduler(n_ports, rng=_seeded_rng("fifo", seed))
+        )
+        candidate = FifoFabric(
+            n_ports,
+            BitmaskFifoScheduler(
+                n_ports, rng=_seeded_rng("fifo", seed), strict_rng=True
+            ),
+        )
+    else:
+        raise ValueError(f"unknown matcher kind {kind!r}")
+    return reference, candidate
+
+
+def _first_divergent_port(
+    ref: MatchResult, cand: MatchResult
+) -> Tuple[int, Optional[int], Optional[int]]:
+    """(port, reference grant, candidate grant) at the lowest divergent input."""
+    for port in sorted(set(ref.matching) | set(cand.matching)):
+        ref_grant = ref.matching.get(port)
+        cand_grant = cand.matching.get(port)
+        if ref_grant != cand_grant:
+            return port, ref_grant, cand_grant
+    return -1, None, None
+
+
+def compare_matchers(
+    kind: str,
+    n_ports: int,
+    seed: int,
+    pattern: str,
+    n_slots: int = 200,
+) -> Tuple[Optional[Divergence], str]:
+    """Drive reference and bitmask fabrics cell-by-cell from one seed.
+
+    Returns ``(divergence, matchings_hash)`` where ``divergence`` is
+    ``None`` on full agreement and ``matchings_hash`` is a SHA-256 over
+    every slot's reference matching -- the value the regression corpus
+    pins.
+    """
+    reference, candidate = _build_pair(kind, n_ports, seed)
+    traffic = PATTERNS[pattern](
+        n_ports, _seeded_rng(f"traffic/{pattern}", seed)
+    )
+    matchings = hashlib.sha256()
+    for slot in range(n_slots):
+        arrivals = traffic.arrivals(slot)
+        for input_port, output_port in arrivals:
+            reference.offer(input_port, output_port, slot)
+            candidate.offer(input_port, output_port, slot)
+        ref_result = reference.step(slot)
+        cand_result = candidate.step(slot)
+        matchings.update(
+            repr(sorted(ref_result.matching.items())).encode("utf-8")
+        )
+        if ref_result.matching != cand_result.matching:
+            port, ref_grant, cand_grant = _first_divergent_port(
+                ref_result, cand_result
+            )
+            return (
+                Divergence(
+                    kind="matcher",
+                    pair=kind,
+                    seed=seed,
+                    size=n_ports,
+                    case=pattern,
+                    round=slot,
+                    port=port,
+                    reference=ref_grant,
+                    candidate=cand_grant,
+                ),
+                matchings.hexdigest(),
+            )
+    return None, matchings.hexdigest()
+
+
+def matcher_sweep(
+    seeds: Sequence[int],
+    sizes: Sequence[int] = (4, 8, 16),
+    kinds: Sequence[str] = MATCHER_KINDS,
+    patterns: Sequence[str] = tuple(PATTERNS),
+    n_slots: int = 200,
+) -> Tuple[List[Divergence], List[Dict[str, Any]]]:
+    """The full differential grid.  Returns (divergences, corpus records)."""
+    divergences: List[Divergence] = []
+    records: List[Dict[str, Any]] = []
+    for kind in kinds:
+        for n_ports in sizes:
+            for pattern in patterns:
+                for seed in seeds:
+                    divergence, matchings_hash = compare_matchers(
+                        kind, n_ports, seed, pattern, n_slots=n_slots
+                    )
+                    if divergence is not None:
+                        divergences.append(divergence)
+                    records.append(
+                        {
+                            "kind": kind,
+                            "n_ports": n_ports,
+                            "pattern": pattern,
+                            "seed": seed,
+                            "n_slots": n_slots,
+                            "matchings_sha256": matchings_hash,
+                            "agreed": divergence is None,
+                        }
+                    )
+    return divergences, records
+
+
+# ======================================================================
+# routing differential (AN1 hop-by-hop vs AN2 end-to-end)
+# ======================================================================
+def _an1_walk(
+    orientation: UpDownOrientation, source, destination, max_hops: int
+):
+    """Hop-by-hop forwarding with the gone-down bit (AN1 discipline).
+
+    Returns (nodes, edges) on success or the hop index where forwarding
+    returned no legal continuation.
+    """
+    nodes = [source]
+    edges = []
+    here = source
+    gone_down = False
+    for _ in range(max_hops):
+        if here == destination:
+            return nodes, edges
+        hop = orientation.next_hop(here, destination, gone_down)
+        if hop is None:
+            return len(edges)
+        neighbor, edge = hop
+        if not orientation.is_up_traversal(edge, here):
+            gone_down = True
+        nodes.append(neighbor)
+        edges.append(edge)
+        here = neighbor
+    return len(edges)
+
+
+def compare_routing(
+    seed: int, n_switches: int = 8, extra_edges: int = 4
+) -> Tuple[Optional[Divergence], str]:
+    """Cross-check AN1 and AN2 routing over one shared random topology.
+
+    For every ordered switch pair: AN1's hop-by-hop walk must terminate,
+    stay up*/down*-legal, and use exactly as many hops as AN2's
+    end-to-end shortest legal path; and a second, independently
+    constructed orientation must produce the identical end-to-end path
+    (construction-order / hash-order insensitivity).  Returns
+    ``(divergence, paths_hash)`` with a SHA-256 over every end-to-end
+    path for the regression corpus.
+    """
+    topo = Topology.random_connected(
+        n_switches,
+        extra_edges=extra_edges,
+        rng=_seeded_rng("routing/topology", seed),
+    )
+    view = topo.view()
+    switches = view.switches()
+    root = switches[0]
+    orientation = UpDownOrientation(view, root)
+    shadow = UpDownOrientation(view, root)  # independently constructed
+    paths_hash = hashlib.sha256()
+    max_hops = 4 * n_switches
+    for src in switches:
+        for dst in switches:
+            if src == dst:
+                continue
+            case = f"{src}->{dst}"
+            an2 = orientation.shortest_legal_path(src, dst)
+            an2_shadow = shadow.shortest_legal_path(src, dst)
+            if an2 is None or an2_shadow is None or an2 != an2_shadow:
+                return (
+                    Divergence(
+                        kind="routing",
+                        pair="an2-determinism",
+                        seed=seed,
+                        size=n_switches,
+                        case=case,
+                        round=0,
+                        port=-1,
+                        reference=None if an2 is None else [str(n) for n in an2[0]],
+                        candidate=(
+                            None if an2_shadow is None
+                            else [str(n) for n in an2_shadow[0]]
+                        ),
+                    ),
+                    paths_hash.hexdigest(),
+                )
+            paths_hash.update(
+                ("|".join(str(n) for n in an2[0])).encode("utf-8")
+            )
+            paths_hash.update(b"\x00")
+            an1 = _an1_walk(orientation, src, dst, max_hops)
+            if isinstance(an1, int):
+                return (
+                    Divergence(
+                        kind="routing",
+                        pair="an1-vs-an2",
+                        seed=seed,
+                        size=n_switches,
+                        case=case,
+                        round=an1,
+                        port=-1,
+                        reference=[str(n) for n in an2[0]],
+                        candidate="no legal continuation",
+                    ),
+                    paths_hash.hexdigest(),
+                )
+            an1_nodes, an1_edges = an1
+            if not orientation.path_is_legal(an1_nodes, an1_edges):
+                return (
+                    Divergence(
+                        kind="routing",
+                        pair="an1-vs-an2",
+                        seed=seed,
+                        size=n_switches,
+                        case=case,
+                        round=len(an1_edges),
+                        port=-1,
+                        reference="legal path",
+                        candidate=[str(n) for n in an1_nodes],
+                    ),
+                    paths_hash.hexdigest(),
+                )
+            if len(an1_edges) != len(an2[1]):
+                return (
+                    Divergence(
+                        kind="routing",
+                        pair="an1-vs-an2",
+                        seed=seed,
+                        size=n_switches,
+                        case=case,
+                        round=len(an1_edges),
+                        port=-1,
+                        reference=len(an2[1]),
+                        candidate=len(an1_edges),
+                    ),
+                    paths_hash.hexdigest(),
+                )
+    return None, paths_hash.hexdigest()
+
+
+def routing_sweep(
+    seeds: Sequence[int],
+    sizes: Sequence[int] = (5, 8, 12),
+) -> Tuple[List[Divergence], List[Dict[str, Any]]]:
+    """Routing cross-checks over a grid of random topologies."""
+    divergences: List[Divergence] = []
+    records: List[Dict[str, Any]] = []
+    for n_switches in sizes:
+        for seed in seeds:
+            divergence, paths_hash = compare_routing(
+                seed, n_switches=n_switches, extra_edges=max(2, n_switches // 2)
+            )
+            if divergence is not None:
+                divergences.append(divergence)
+            records.append(
+                {
+                    "kind": "routing",
+                    "n_switches": n_switches,
+                    "seed": seed,
+                    "paths_sha256": paths_hash,
+                    "agreed": divergence is None,
+                }
+            )
+    return divergences, records

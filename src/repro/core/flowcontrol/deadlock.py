@@ -62,8 +62,12 @@ class WaitForGraph:
         recursion limit.
         """
         WHITE, GREY, BLACK = 0, 1, 2
+        # det: allow(colour is lookup-only; dict key order never observed)
         colour: Dict[Hashable, int] = {node: WHITE for node in self._edges}
         parent: Dict[Hashable, Hashable] = {}
+        # Which cycle is reported follows the caller's add_edge insertion
+        # order, not hash order; DFS children are sorted below.
+        # det: allow(dict insertion order is replay-deterministic)
         for start in self._edges:
             if colour[start] != WHITE:
                 continue

@@ -30,6 +30,7 @@ def is_legal_matching(
     as pre-matched pairs and excluded before calling this).
     """
     outputs_seen: Set[int] = set()
+    # det: allow(order-independent validation predicate; returns a bool)
     for input_port, output_port in matching.items():
         if not 0 <= input_port < len(requests):
             return False

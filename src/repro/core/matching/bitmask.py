@@ -143,6 +143,7 @@ def _pre_matched_masks(matching: Matching) -> Tuple[int, int]:
     """Input and output masks of an existing partial matching."""
     matched_inputs = 0
     matched_outputs = 0
+    # det: allow(commutative OR-accumulation; item order cannot matter)
     for input_port, output_port in matching.items():
         bit = 1 << output_port
         if matched_outputs & bit:

@@ -68,17 +68,26 @@ class IslipMatcher:
                         requests_at_output.setdefault(output_port, []).append(
                             input_port
                         )
+            # Outputs grant (and inputs accept, below) in ascending port
+            # order.  Each decision touches only that port's own pointer
+            # slot, so the order is behavior-neutral -- but the insertion
+            # order of these dicts descends from iterating the request
+            # *sets* above, and sorting here keeps the visit order (and
+            # the bitmask fast path's ascending-bit order) independent of
+            # it.
             grants_at_input: Dict[int, List[int]] = {}
-            for output_port, contenders in requests_at_output.items():
+            for output_port in sorted(requests_at_output):
+                contenders = requests_at_output[output_port]
                 chosen = self._rotate_pick(
                     contenders, self.grant_pointers[output_port]
                 )
                 grants_at_input.setdefault(chosen, []).append(output_port)
             added = 0
-            for input_port, grants in grants_at_input.items():
+            for input_port in sorted(grants_at_input):
+                grants = grants_at_input[input_port]
                 accepted = self._rotate_pick(
                     grants, self.accept_pointers[input_port]
-                )
+                )  # grants list order is irrelevant to the rotating pick
                 matching[input_port] = accepted
                 matched_outputs.add(accepted)
                 added += 1

@@ -63,7 +63,9 @@ class LoadBalancer:
         """One measurement + migration pass; returns migrations made."""
         moved = 0
         now = self.network.sim.now
+        # det: allow(NodeId keys inserted in topology-build order)
         for switch in self.network.switches.values():
+            # det: allow(int keys inserted in replay-deterministic forwarding order)
             for out_port, total in switch.stats.per_output_forwarded.items():
                 key = (switch.node_id, out_port)
                 previous = self._last_counts.get(key, 0)

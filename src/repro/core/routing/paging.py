@@ -70,6 +70,7 @@ def buffers_reclaimed(switch: AN2Switch) -> int:
     circuits: the benefit metric for the E13 benchmark."""
     pinned = 0
     for card in switch.cards:
+        # det: allow(commutative sum; value order cannot matter)
         for state in card.downstream.values():
             pinned += state.allocation
     return pinned

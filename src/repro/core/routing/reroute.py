@@ -28,6 +28,7 @@ def circuits_crossing(
     link between ``a`` and ``b``, judged by installed routing entries."""
     crossing: List[int] = []
     clear: List[int] = []
+    # det: allow(int VC keys inserted in ascending allocation order)
     for vc, circuit in network.circuits.items():
         if _vc_uses_link(network, vc, a, b):
             crossing.append(vc)
@@ -37,6 +38,7 @@ def circuits_crossing(
 
 
 def _vc_uses_link(network: Network, vc: int, a: NodeId, b: NodeId) -> bool:
+    # det: allow(existence check over all switches; answer order-independent)
     for switch in network.switches.values():
         in_port = switch._vc_in_port.get(vc)
         if in_port is None:

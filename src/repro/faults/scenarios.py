@@ -38,6 +38,7 @@ from repro.faults.runner import TrafficLoad
 from repro.net.host import HostConfig
 from repro.net.network import Network
 from repro.net.topology import Topology
+from repro.sim.random import RandomStreams
 from repro.switch.switch import SwitchConfig
 
 
@@ -306,17 +307,28 @@ def build_random_scenario(
     n_switches: Optional[int] = None,
     n_faults: int = 3,
 ):
-    """A full random chaos scenario derived from one seed."""
-    rng = random.Random(seed)
+    """A full random chaos scenario derived from one seed.
+
+    Deprecation note: this used to seed a single bare ``random.Random``
+    shared across topology and plan generation; it now draws named
+    substreams from :class:`repro.sim.random.RandomStreams` so the chaos
+    topology and the fault plan are independent per-component streams
+    (adding a fault kind no longer perturbs the topology).  The ``seed``
+    parameter keeps its meaning.
+    """
+    streams = RandomStreams(seed)
+    rng = streams.stream("chaos.shape")
     n = n_switches if n_switches is not None else rng.randint(4, 6)
-    topo = random_biconnected_topology(rng, n_switches=n, n_hosts=2)
+    topo = random_biconnected_topology(
+        streams.stream("chaos.topology"), n_switches=n, n_hosts=2
+    )
     net = Network(
         topo,
         seed=seed,
         switch_config=scenario_switch_config(),
         host_config=scenario_host_config(),
     )
-    plan = random_plan(rng, topo, n_faults=n_faults)
+    plan = random_plan(streams.stream("chaos.plan"), topo, n_faults=n_faults)
     loads = (
         TrafficLoad(
             source="h0", destination="h1",

@@ -25,6 +25,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro._types import NodeId, NodeRef, host_id, parse_node_id, switch_id
 from repro.constants import AN2_SWITCH_PORTS, FAST_LINK_BPS, SLOW_LINK_BPS
+from repro.sim.random import derived_stream
 
 
 class TopologyError(Exception):
@@ -244,8 +245,15 @@ class Topology:
         rng: Optional[random.Random] = None,
         length_km: float = 0.1,
     ) -> "Topology":
-        """A random spanning tree plus ``extra_edges`` redundant cables."""
-        rng = rng if rng is not None else random.Random(0)
+        """A random spanning tree plus ``extra_edges`` redundant cables.
+
+        With no explicit ``rng``, a deterministic per-generator substream
+        from :func:`repro.sim.random.derived_stream` is used.  (The old
+        fallback was a shared ``random.Random(0)``, which correlated the
+        default topology with every other component's default draws;
+        passing an explicit ``rng`` is unchanged and preferred.)
+        """
+        rng = rng if rng is not None else derived_stream("topology.random_connected")
         topo = cls()
         for i in range(n_switches):
             topo.add_switch(i)
@@ -285,8 +293,12 @@ class Topology:
         A redundant switch core (random connected graph with extra edges)
         and dual-homed hosts: "Each host has links to two different
         switches.  Only one link is in active use at any time."
+
+        With no explicit ``rng``, a deterministic per-generator substream
+        from :func:`repro.sim.random.derived_stream` is used (see
+        :meth:`random_connected` for the deprecation rationale).
         """
-        rng = rng if rng is not None else random.Random(0)
+        rng = rng if rng is not None else derived_stream("topology.src_lan")
         topo = cls.random_connected(
             n_switches, extra_edges=n_switches * (redundancy - 1), rng=rng
         )

@@ -16,6 +16,7 @@ import heapq
 from typing import TYPE_CHECKING, Any, Callable, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.conform.digest import RunDigest
     from repro.obs.trace import Tracer
 
 
@@ -90,15 +91,25 @@ class Simulator:
         self._cancelled_in_heap = 0
         self._compactions = 0
         self._tracer: Optional["Tracer"] = None
+        self._digest: Optional["RunDigest"] = None
 
     # ------------------------------------------------------------------
-    # tracing
+    # instrumentation (tracing + run digest)
     # ------------------------------------------------------------------
-    # Attaching a tracer swaps per-instance traced implementations of
-    # step/run into the instance dict; detaching removes them so lookups
-    # fall back to the class methods.  The untraced bytecode therefore
-    # contains no tracer checks at all -- the disabled hot path is the
-    # original hot path, byte for byte.
+    # Attaching a tracer or a digest swaps per-instance instrumented
+    # implementations of step/run into the instance dict; detaching both
+    # removes them so lookups fall back to the class methods.  The
+    # uninstrumented bytecode therefore contains no tracer/digest checks
+    # at all -- the disabled hot path is the original hot path, byte for
+    # byte.
+    def _refresh_instrumentation(self) -> None:
+        if self._tracer is not None or self._digest is not None:
+            self.__dict__["step"] = self._step_instrumented
+            self.__dict__["run"] = self._run_instrumented
+        else:
+            self.__dict__.pop("step", None)
+            self.__dict__.pop("run", None)
+
     @property
     def tracer(self) -> Optional["Tracer"]:
         """The attached :class:`~repro.obs.trace.Tracer`, or ``None``."""
@@ -107,12 +118,22 @@ class Simulator:
     @tracer.setter
     def tracer(self, tracer: Optional["Tracer"]) -> None:
         self._tracer = tracer
-        if tracer is not None:
-            self.__dict__["step"] = self._step_traced
-            self.__dict__["run"] = self._run_traced
-        else:
-            self.__dict__.pop("step", None)
-            self.__dict__.pop("run", None)
+        self._refresh_instrumentation()
+
+    @property
+    def digest(self) -> Optional["RunDigest"]:
+        """The attached :class:`~repro.conform.digest.RunDigest`, or ``None``.
+
+        While attached, every executed event feeds ``(time, seq, callback
+        identity)`` into the digest's streaming hash, so two runs with the
+        same digest hex dispatched the same events in the same order.
+        """
+        return self._digest
+
+    @digest.setter
+    def digest(self, digest: Optional["RunDigest"]) -> None:
+        self._digest = digest
+        self._refresh_instrumentation()
 
     # ------------------------------------------------------------------
     # time
@@ -239,11 +260,13 @@ class Simulator:
             self._running = False
 
     # ------------------------------------------------------------------
-    # traced execution (installed per-instance by the tracer setter)
+    # instrumented execution (installed per-instance by the tracer and
+    # digest setters via _refresh_instrumentation)
     # ------------------------------------------------------------------
-    def _step_traced(self) -> bool:
-        """:meth:`step` plus one ``kernel`` record per executed event."""
+    def _step_instrumented(self) -> bool:
+        """:meth:`step` plus tracer/digest observation per executed event."""
         tracer = self._tracer
+        digest = self._digest
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
@@ -261,18 +284,21 @@ class Simulator:
                         event.callback, "__qualname__", repr(event.callback)
                     ),
                 )
+            if digest is not None:
+                digest.observe(event.time, event.seq, event.callback)
             event.callback(*event.args)
             return True
         return False
 
-    def _run_traced(
+    def _run_instrumented(
         self, until: Optional[float] = None, max_events: Optional[int] = None
     ) -> None:
-        """:meth:`run` plus one ``kernel`` record per executed event."""
+        """:meth:`run` plus tracer/digest observation per executed event."""
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         tracer = self._tracer
+        digest = self._digest
         executed = 0
         try:
             while self._queue:
@@ -299,6 +325,8 @@ class Simulator:
                             head.callback, "__qualname__", repr(head.callback)
                         ),
                     )
+                if digest is not None:
+                    digest.observe(head.time, head.seq, head.callback)
                 head.callback(*head.args)
             if until is not None and self._now < until:
                 self._now = until

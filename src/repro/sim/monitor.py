@@ -13,8 +13,9 @@ set per component node and snapshots the whole tree to plain dicts.
 from __future__ import annotations
 
 import math
-import random
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.random import derived_stream
 
 
 class Counter:
@@ -89,7 +90,13 @@ class Tally:
         self._samples: List[float] = []
         self._sorted: Optional[List[float]] = None
         if max_samples is not None:
-            self._rng = random.Random(seed)
+            # Deprecation note: the reservoir RNG used to be a bare
+            # random.Random(seed), identical across every bounded Tally
+            # with the default seed.  It is now a substream derived from
+            # (name, seed) via repro.sim.random, so same-named tallies
+            # remain reproducible while distinct tallies decorrelate.
+            # The ``seed`` parameter keeps its meaning.
+            self._rng = derived_stream(f"tally/{name}", seed)
             self._count = 0
             self._total = 0.0
             self._sumsq = 0.0

@@ -17,6 +17,25 @@ import random
 from typing import Dict
 
 
+def derived_stream(name: str, seed: int = 0) -> random.Random:
+    """A standalone, deterministically-seeded substream for ``name``.
+
+    The module-level counterpart of :meth:`RandomStreams.stream`, using
+    the same derivation (seed hashed with a stable component name).  It
+    exists for components constructed *outside* a
+    :class:`~repro.net.network.Network` -- topology generators, arrival
+    processes, workload drivers -- whose historical fallback was a bare
+    ``random.Random(0)``.  That shared fixed seed made every such
+    component draw *identical* random sequences (perfectly correlated
+    topologies, arrivals, and reservoir samples), the same bug class the
+    per-link RNG fix removed from :class:`~repro.net.link.Link`.  A
+    name-derived stream keeps runs reproducible end to end while
+    decorrelating the components.
+    """
+    digest = hashlib.sha256(f"{seed}/{name}".encode("utf-8")).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
 class RandomStreams:
     """A factory of independent, deterministically-seeded RNG substreams."""
 

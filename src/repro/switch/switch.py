@@ -400,7 +400,9 @@ class AN2Switch(Node):
         self._vc_in_port[vc] = in_port
         card.ensure_downstream(vc, self._allocation_for(in_port))
         if self.config.flow_control == "credits":
-            for out_port in ports:
+            # Each port touches its own card, but sort so per-card state is
+            # created in an order independent of the set's hash order.
+            for out_port in sorted(ports):
                 self.cards[out_port].ensure_upstream(
                     vc, self._allocation_for(out_port)
                 )

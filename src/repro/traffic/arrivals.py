@@ -20,7 +20,15 @@ from __future__ import annotations
 import random
 from typing import List, Optional, Sequence, Tuple
 
+from repro.sim.random import derived_stream
+
 Arrival = Tuple[int, int]  # (input port, output port)
+
+# Deprecation note: every process used to fall back to a *shared*
+# ``random.Random(0)``, so two default-constructed processes drew
+# identical (perfectly correlated) arrival streams.  The fallback is now
+# a per-class substream from :func:`repro.sim.random.derived_stream`;
+# pass an explicit ``rng`` (unchanged signature) to control seeding.
 
 
 class ArrivalProcess:
@@ -52,7 +60,7 @@ class BernoulliUniform(ArrivalProcess):
         if not 0.0 <= load <= 1.0:
             raise ValueError(f"load {load} out of [0, 1]")
         self.load = load
-        self.rng = rng if rng is not None else random.Random(0)
+        self.rng = rng if rng is not None else derived_stream("arrivals.bernoulli")
 
     @property
     def offered_load(self) -> float:
@@ -87,7 +95,7 @@ class Hotspot(ArrivalProcess):
         self.load = load
         self.hot_output = hot_output
         self.hot_fraction = hot_fraction
-        self.rng = rng if rng is not None else random.Random(0)
+        self.rng = rng if rng is not None else derived_stream("arrivals.hotspot")
 
     @property
     def offered_load(self) -> float:
@@ -127,7 +135,7 @@ class BurstyOnOff(ArrivalProcess):
             raise ValueError(f"mean_burst {mean_burst} must be >= 1")
         self.load = load
         self.mean_burst = mean_burst
-        self.rng = rng if rng is not None else random.Random(0)
+        self.rng = rng if rng is not None else derived_stream("arrivals.bursty")
         # Geometric parameters: P(end of burst) per slot while on, and
         # P(start of burst) per slot while off.  With mean on-length B and
         # mean off-length I, load = B / (B + I)  =>  I = B (1-load)/load.
@@ -172,7 +180,7 @@ class Permutation(ArrivalProcess):
         if not 0.0 <= load <= 1.0:
             raise ValueError(f"load {load} out of [0, 1]")
         self.load = load
-        self.rng = rng if rng is not None else random.Random(0)
+        self.rng = rng if rng is not None else derived_stream("arrivals.permutation")
         if mapping is None:
             outputs = list(range(n_ports))
             self.rng.shuffle(outputs)

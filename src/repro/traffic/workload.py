@@ -16,6 +16,7 @@ from repro._types import NodeId, VcId
 from repro.net.host import Host
 from repro.net.packet import Packet
 from repro.sim.kernel import Simulator
+from repro.sim.random import derived_stream
 
 
 class FileTransferWorkload:
@@ -156,7 +157,15 @@ class PoissonPacketWorkload:
         self.destination = destination
         self.mean_interval_us = mean_interval_us
         self.packet_bytes = packet_bytes
-        self.rng = rng if rng is not None else random.Random(0)
+        # Deprecation note: the old fallback was a shared random.Random(0)
+        # -- every default-constructed Poisson source emitted the *same*
+        # inter-arrival sequence.  Now a per-source substream keyed by
+        # (host, vc); pass an explicit ``rng`` to control seeding.
+        self.rng = (
+            rng
+            if rng is not None
+            else derived_stream(f"workload.poisson/{host.node_id}/{vc}")
+        )
         self.duration_us = duration_us
         self.packets_sent = 0
         self._stop_at: Optional[float] = None

@@ -1,0 +1,155 @@
+#!/usr/bin/env python
+"""One-shot conformance gate: digest stability + differential sweep + lint.
+
+Certifies the repo's determinism contract (DESIGN.md, "Determinism
+contract") in three stages:
+
+1. **Digest stability** -- runs the canonical replay scenario
+   (:func:`repro.conform.digest.digest_scenario`) several times in this
+   process and once per ``PYTHONHASHSEED`` value in a subprocess; every
+   run must produce the identical hex digest.
+2. **Differential sweep** -- drives the reference matchers
+   (``Pim``/``Islip``/``FifoScheduler``) against their bitmask fast-path
+   counterparts cell-by-cell from identical seeds across fabric sizes
+   and load patterns, and cross-checks AN1 against AN2 routing on shared
+   random topologies.  Any divergence is reported as the first divergent
+   ``(round, port, grant)`` tuple and fails the gate.
+3. **Nondeterminism lint** -- ``tools/lint_determinism.py`` over
+   ``src/repro``.
+
+Exit status 0 iff all three pass.
+
+Usage::
+
+    python tools/run_conformance.py [--seeds N] [--runs N] [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.conform.digest import digest_scenario  # noqa: E402
+from repro.conform.oracle import matcher_sweep, routing_sweep  # noqa: E402
+
+HASHSEEDS = ("0", "1", "12345", "random")
+
+
+def _subprocess_digest(seed: int, hashseed: str) -> str:
+    """Compute the scenario digest in a fresh interpreter."""
+    code = (
+        "from repro.conform.digest import digest_scenario;"
+        f"print(digest_scenario(seed={seed}))"
+    )
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hashseed
+    env["PYTHONPATH"] = str(SRC)
+    out = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True, text=True, env=env, cwd=str(REPO), check=True,
+    )
+    return out.stdout.strip()
+
+
+def check_digest_stability(runs: int, scenario_seed: int) -> bool:
+    print(f"[1/3] digest stability (seed={scenario_seed}) ...")
+    t0 = time.time()
+    digests = [digest_scenario(seed=scenario_seed) for _ in range(runs)]
+    for hashseed in HASHSEEDS:
+        digests.append(_subprocess_digest(scenario_seed, hashseed))
+    distinct = set(digests)
+    ok = len(distinct) == 1
+    label = "OK" if ok else "FAIL"
+    print(
+        f"      {runs} in-process runs + {len(HASHSEEDS)} PYTHONHASHSEED "
+        f"subprocesses -> {len(distinct)} distinct digest(s) "
+        f"[{label}, {time.time() - t0:.1f}s]"
+    )
+    if ok:
+        print(f"      digest {digests[0]}")
+    else:
+        for d in sorted(distinct):
+            print(f"      saw {d}")
+    return ok
+
+
+def check_differential(n_seeds: int, n_slots: int) -> bool:
+    print(f"[2/3] differential sweep ({n_seeds} seeds) ...")
+    t0 = time.time()
+    seeds = list(range(n_seeds))
+    divergences, corpus = matcher_sweep(seeds, n_slots=n_slots)
+    routing_div, routing_corpus = routing_sweep(seeds)
+    total = len(divergences) + len(routing_div)
+    label = "OK" if total == 0 else "FAIL"
+    print(
+        f"      {len(corpus)} matcher cases + {len(routing_corpus)} "
+        f"routing cases -> {total} divergence(s) "
+        f"[{label}, {time.time() - t0:.1f}s]"
+    )
+    for div in list(divergences) + list(routing_div):
+        print(f"      {div}")
+    return total == 0
+
+
+def check_lint() -> bool:
+    print("[3/3] nondeterminism lint ...")
+    out = subprocess.run(
+        [sys.executable, str(REPO / "tools" / "lint_determinism.py")],
+        capture_output=True, text=True, cwd=str(REPO),
+    )
+    ok = out.returncode == 0
+    for line in out.stdout.strip().splitlines():
+        print(f"      {line}")
+    if out.stderr.strip():
+        print(out.stderr.strip())
+    return ok
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--seeds", type=int, default=20,
+        help="seeds per differential sweep (default 20)",
+    )
+    parser.add_argument(
+        "--runs", type=int, default=3,
+        help="in-process digest repetitions (default 3)",
+    )
+    parser.add_argument(
+        "--scenario-seed", type=int, default=1,
+        help="seed for the digest scenario (default 1)",
+    )
+    parser.add_argument(
+        "--slots", type=int, default=200,
+        help="cell slots per matcher case (default 200)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced sweep for local iteration (5 seeds, 60 slots)",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.seeds, args.slots = 5, 60
+
+    results = [
+        check_digest_stability(args.runs, args.scenario_seed),
+        check_differential(args.seeds, args.slots),
+        check_lint(),
+    ]
+    if all(results):
+        print("conformance: PASS")
+        return 0
+    print("conformance: FAIL")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
