@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-speed examples all clean
+.PHONY: install test bench bench-speed speed-smoke sweep examples all clean
 
 install:
 	pip install -e .
@@ -18,6 +18,16 @@ bench:
 # cleanly when no baseline exists.
 bench-speed:
 	$(PYTHON) tools/run_speed_bench.py --check
+
+# The CI smoke subset: quick workloads only, explicit baseline, percent
+# tolerance, missing baseline is an error.
+speed-smoke:
+	$(PYTHON) tools/run_speed_bench.py --compare BENCH_speed.json --quick --tolerance 60 --repeats 2
+
+# Parallel sweep with serial digest verification (exit non-zero on any
+# parallel-vs-serial divergence).
+sweep:
+	$(PYTHON) tools/run_sweep.py --driver fabric --grid n_ports=8,16 --grid load=0.7,0.95 --repeats 2 --workers 4 --verify 3
 
 examples:
 	@for script in examples/*.py; do \

@@ -29,6 +29,7 @@ reported as ``pim_bitmask_speedup_n16``.
 
 from __future__ import annotations
 
+import hashlib
 import random
 import time
 from dataclasses import dataclass
@@ -54,11 +55,17 @@ class SpeedResult:
 
 @dataclass(frozen=True)
 class SpeedWorkload:
-    """A frozen, repeatable timed workload."""
+    """A frozen, repeatable timed workload.
+
+    ``quick`` marks the cheap workloads the CI smoke job times on every
+    push (``run_speed_bench.py --quick``); the full set runs locally via
+    ``make bench-speed``.
+    """
 
     name: str
     description: str
     run: Callable[[], SpeedResult]
+    quick: bool = False
 
 
 def _uniform_trace(
@@ -172,6 +179,113 @@ def _run_voq_traced(
     return SpeedResult(elapsed, checksum)
 
 
+def _run_route_queries(
+    n_switches: int, rounds: int, cached: bool
+) -> SpeedResult:
+    """Circuit-setup-heavy routing: every ordered switch pair queried
+    ``rounds`` times over one epoch's orientation.
+
+    This is the signaling layer's shape -- each circuit setup asks the
+    same RouteComputer for a path, and popular pairs repeat constantly
+    within an epoch.  ``cached`` toggles the epoch-keyed path memo; the
+    checksum (total path edges) must be identical either way, because
+    the memo may only change how often the BFS runs.
+    """
+    from repro.core.routing.paths import RouteComputer
+    from repro.core.routing.updown import set_path_cache_enabled
+    from repro.net.topology import Topology
+    from repro.sim.random import derived_stream
+
+    topo = Topology.random_connected(
+        n_switches,
+        extra_edges=n_switches // 2,
+        rng=derived_stream("bench/route_cache", TRACE_SEED),
+    )
+    view = topo.view()
+    switches = view.switches()
+    pairs = [(a, b) for a in switches for b in switches if a != b]
+    previous = set_path_cache_enabled(cached)
+    try:
+        computer = RouteComputer(view, switches[0])
+        switch_route = computer.switch_route
+        checksum = 0
+        start = time.perf_counter()
+        for _ in range(rounds):
+            for source, destination in pairs:
+                checksum += len(switch_route(source, destination)[1])
+        elapsed = time.perf_counter() - start
+    finally:
+        set_path_cache_enabled(previous)
+    return SpeedResult(elapsed, checksum)
+
+
+def _run_sweep(workers: int) -> SpeedResult:
+    """The sweep engine over a small fabric grid, serial vs process pool.
+
+    The checksum folds every task's payload digest in task order, so the
+    serial and parallel workloads must produce the *same* checksum --
+    that equality is the parallel-equals-serial contract, enforced by
+    tests/exec and re-checked every time this baseline is compared.
+    """
+    from repro.exec import SweepEngine, make_tasks
+
+    tasks = make_tasks(
+        "fabric",
+        {"n_ports": [8, 16], "load": [0.7, 0.95], "slots": [1_500]},
+        repeats=2,
+        root_seed=TRACE_SEED,
+    )
+    engine = SweepEngine(workers=workers)
+    start = time.perf_counter()
+    results = engine.run(tasks)
+    elapsed = time.perf_counter() - start
+    folded = hashlib.sha256()
+    for result in results:
+        folded.update(result.digest.encode("ascii"))
+    return SpeedResult(elapsed, int.from_bytes(folded.digest()[:8], "big"))
+
+
+def _run_link_trains(batch: bool, bursts: int, burst_size: int) -> SpeedResult:
+    """Same-instant cell bursts over a long link: the train-forming shape.
+
+    Each burst's cells serialize back-to-back, so the batched link
+    delivers a whole burst with ~2 kernel events instead of one per
+    cell.  The checksum is the delivered-cell count, identical batched
+    or not.
+    """
+    from repro._types import parse_node_id
+    from repro.net.cell import Cell
+    from repro.net.link import Link
+    from repro.net.node import Node
+
+    class _Sink(Node):
+        def __init__(self, sim: Simulator, name: str) -> None:
+            super().__init__(sim, parse_node_id(name), 1)
+            self.count = 0
+
+        def on_cell(self, port, cell) -> None:
+            self.count += 1
+
+    sim = Simulator()
+    node_a = _Sink(sim, "h0")
+    node_b = _Sink(sim, "h1")
+    link = Link(
+        sim, node_a.port(0), node_b.port(0), length_km=2.0, batch_trains=batch
+    )
+
+    def burst() -> None:
+        for _ in range(burst_size):
+            link.transmit(0, Cell(vc=0))
+
+    gap_us = 50.0
+    for index in range(bursts):
+        sim.schedule_at(1.0 + index * gap_us, burst)
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    return SpeedResult(elapsed, node_b.count)
+
+
 def _pim_reference(n_ports: int) -> ParallelIterativeMatcher:
     return ParallelIterativeMatcher(n_ports, rng=random.Random(MATCHER_SEED))
 
@@ -197,11 +311,13 @@ WORKLOADS: List[SpeedWorkload] = [
         "voq_pim_reference_n32",
         "VoqFabric + reference PIM, uniform load 1.0, N=32, 4k slots",
         lambda: _run_voq(32, lambda: _pim_reference(32), 4_000, 500),
+        quick=True,
     ),
     SpeedWorkload(
         "voq_pim_bitmask_n32",
         "VoqFabric + bitmask PIM, uniform load 1.0, N=32, 4k slots",
         lambda: _run_voq(32, lambda: _pim_bitmask(32), 4_000, 500),
+        quick=True,
     ),
     SpeedWorkload(
         "voq_pim_reference_n64",
@@ -243,13 +359,50 @@ WORKLOADS: List[SpeedWorkload] = [
         "Simulator: 200k timers, 90% cancelled, pending() polled per cancel",
         lambda: _run_kernel_storm(200_000, 10),
     ),
+    SpeedWorkload(
+        "route_cache_off_n24",
+        "RouteComputer: all switch pairs x40 rounds, N=24, path memo off",
+        lambda: _run_route_queries(24, 40, cached=False),
+        quick=True,
+    ),
+    SpeedWorkload(
+        "route_cache_on_n24",
+        "RouteComputer: all switch pairs x40 rounds, N=24, path memo on",
+        lambda: _run_route_queries(24, 40, cached=True),
+        quick=True,
+    ),
+    SpeedWorkload(
+        "sweep_parallel_serial",
+        "SweepEngine: 8 fabric grid tasks, in-process serial reference",
+        lambda: _run_sweep(0),
+    ),
+    SpeedWorkload(
+        "sweep_parallel_w4",
+        "SweepEngine: same 8 fabric grid tasks across 4 worker processes",
+        lambda: _run_sweep(4),
+    ),
+    SpeedWorkload(
+        "link_train_unbatched",
+        "Link: 1.5k bursts of 32 same-instant cells, one event per cell",
+        lambda: _run_link_trains(False, 1_500, 32),
+        quick=True,
+    ),
+    SpeedWorkload(
+        "link_train_batched",
+        "Link: same bursts with batch_trains, one event chain per train",
+        lambda: _run_link_trains(True, 1_500, 32),
+        quick=True,
+    ),
 ]
 
-# (bitmask workload, reference workload) pairs whose best-time ratio the
-# runner derives and stores alongside the raw timings.
+# (slow workload, fast workload) pairs whose best-time ratio the runner
+# derives and stores alongside the raw timings.
 SPEEDUP_PAIRS: Dict[str, Tuple[str, str]] = {
     "pim_bitmask_speedup_n16": ("voq_pim_reference_n16", "voq_pim_bitmask_n16"),
     "pim_bitmask_speedup_n32": ("voq_pim_reference_n32", "voq_pim_bitmask_n32"),
     "pim_bitmask_speedup_n64": ("voq_pim_reference_n64", "voq_pim_bitmask_n64"),
     "fifo_bitmask_speedup_n16": ("fifo_reference_n16", "fifo_bitmask_n16"),
+    "route_cache_speedup_n24": ("route_cache_off_n24", "route_cache_on_n24"),
+    "sweep_parallel_speedup_w4": ("sweep_parallel_serial", "sweep_parallel_w4"),
+    "link_train_speedup": ("link_train_unbatched", "link_train_batched"),
 }

@@ -42,8 +42,13 @@ from repro.core.matching.bitmask import (
 from repro.core.matching.fifo import FifoScheduler
 from repro.core.matching.islip import IslipMatcher
 from repro.core.matching.pim import MatchResult, ParallelIterativeMatcher
+from repro._types import NodeId, parse_node_id
 from repro.core.routing.updown import UpDownOrientation
+from repro.net.cell import Cell, CellKind
+from repro.net.link import Link
+from repro.net.node import Node
 from repro.net.topology import Topology
+from repro.sim.kernel import Simulator
 from repro.sim.random import derived_stream
 from repro.switch.fabric import FifoFabric, VoqFabric
 from repro.traffic.arrivals import (
@@ -387,4 +392,168 @@ def routing_sweep(
                     "agreed": divergence is None,
                 }
             )
+    return divergences, records
+
+
+# ======================================================================
+# link cell-train differential
+# ======================================================================
+class _SinkNode(Node):
+    """Records delivered payloads in arrival order; the link oracle's
+    endpoint.  Payloads are unique per cell, so the recorded sequence
+    identifies exactly which cells got through and in what order."""
+
+    def __init__(self, sim, node_id: "NodeId") -> None:
+        super().__init__(sim, node_id, n_ports=1)
+        self.received: List[Any] = []
+
+    def on_cell(self, port, cell) -> None:
+        self.received.append(cell.payload)
+
+
+def _link_script(seed: int, n_bursts: int) -> List[Tuple[float, str, Any]]:
+    """A deterministic (time, op, arg) fault-and-traffic script.
+
+    Bursts are multi-cell and same-instant -- the shape that actually
+    forms cell trains -- and the fault ops are the ones whose semantics
+    batching must not change: a mid-train cut, a restore, and
+    ``drop_filter`` windows that open and close while cells are on the
+    wire (the credit-loss-burst shape from the fault scenarios).
+    """
+    rng = _seeded_rng("link-script", seed)
+    script: List[Tuple[float, str, Any]] = []
+    t = 1.0
+    payload = 0
+    for _ in range(n_bursts):
+        t += rng.uniform(3.0, 30.0)
+        direction = 1 if rng.random() < 0.3 else 0
+        size = rng.randint(1, 12)
+        cells = []
+        for _ in range(size):
+            kind = CellKind.CREDIT if rng.random() < 0.25 else CellKind.DATA
+            cells.append((kind, payload))
+            payload += 1
+        script.append((t, "burst", (direction, cells)))
+        roll = rng.random()
+        if roll < 0.15:
+            # Cut while the burst is still serializing/propagating, then
+            # restore: the canonical mid-train fault.
+            script.append((t + rng.uniform(0.1, 8.0), "fail", None))
+            script.append((t + rng.uniform(9.0, 20.0), "restore", None))
+        elif roll < 0.30:
+            # Credit-loss window opening mid-flight.
+            script.append((t + rng.uniform(0.1, 8.0), "filter_on", None))
+            script.append((t + rng.uniform(9.0, 20.0), "filter_off", None))
+    script.sort(key=lambda entry: (entry[0], entry[1]))
+    return script
+
+
+def _drive_link(
+    seed: int, batch: bool, n_bursts: int
+) -> Tuple[List[Any], List[Any], Tuple[int, int, int, int]]:
+    """Run the scripted scenario on one link; returns (received at b,
+    received at a, (delivered, dropped, data_dropped, corrupted))."""
+    sim = Simulator()
+    node_a = _SinkNode(sim, parse_node_id("h0"))
+    node_b = _SinkNode(sim, parse_node_id("h1"))
+    link = Link(
+        sim,
+        node_a.port(0),
+        node_b.port(0),
+        length_km=2.0,
+        rng=_seeded_rng("link-err", seed),
+        batch_trains=batch,
+        max_train_cells=8,
+    )
+
+    def burst(direction: int, cells) -> None:
+        for kind, payload in cells:
+            link.transmit(direction, Cell(vc=0, kind=kind, payload=payload))
+
+    ops: Dict[str, Callable[..., None]] = {
+        "burst": burst,
+        "fail": lambda _arg: link.fail(),
+        "restore": lambda _arg: link.restore(),
+        "filter_on": lambda _arg: setattr(
+            link, "drop_filter", lambda cell: cell.kind is CellKind.CREDIT
+        ),
+        "filter_off": lambda _arg: setattr(link, "drop_filter", None),
+    }
+    for time, op, arg in _link_script(seed, n_bursts):
+        if op == "burst":
+            sim.schedule_at(time, burst, *arg)
+        else:
+            sim.schedule_at(time, ops[op], arg)
+    sim.run()
+    counters = (
+        link.cells_delivered,
+        link.cells_dropped,
+        link.data_cells_dropped,
+        link.cells_corrupted,
+    )
+    return node_b.received, node_a.received, counters
+
+
+def compare_link_delivery(
+    seed: int, n_bursts: int = 40
+) -> Optional[Divergence]:
+    """Cell-train batching differential: batched vs unbatched link.
+
+    Runs an identical burst/cut/restore/drop-filter script through a
+    plain link and a ``batch_trains`` link and requires identical
+    delivered-payload sequences (per direction, in FIFO order) and
+    identical delivered/dropped/corrupted counters.  Batching is allowed
+    to change *when* a cell surfaces (by a bounded train span) and how
+    many kernel events that takes -- never *which* cells arrive or are
+    lost.  ``error_rate`` stays zero here: its RNG draw order across
+    concurrently-batched opposite directions is not pinned by the
+    batching contract.
+    """
+    reference = _drive_link(seed, batch=False, n_bursts=n_bursts)
+    candidate = _drive_link(seed, batch=True, n_bursts=n_bursts)
+    cases = ("delivered@b", "delivered@a", "counters")
+    for case, ref, cand in zip(cases, reference, candidate):
+        if ref != cand:
+            port = -1
+            if case != "counters":
+                port = _first_divergent_index(list(ref), list(cand))
+            return Divergence(
+                kind="link",
+                pair="train-batching",
+                seed=seed,
+                size=n_bursts,
+                case=case,
+                round=-1,
+                port=port,
+                reference=ref,
+                candidate=cand,
+            )
+    return None
+
+
+def _first_divergent_index(reference: List[Any], candidate: List[Any]) -> int:
+    for index, (ref, cand) in enumerate(zip(reference, candidate)):
+        if ref != cand:
+            return index
+    return min(len(reference), len(candidate))
+
+
+def link_sweep(
+    seeds: Sequence[int], n_bursts: int = 40
+) -> Tuple[List[Divergence], List[Dict[str, Any]]]:
+    """Train-batching differential over a grid of fault scripts."""
+    divergences: List[Divergence] = []
+    records: List[Dict[str, Any]] = []
+    for seed in seeds:
+        divergence = compare_link_delivery(seed, n_bursts=n_bursts)
+        if divergence is not None:
+            divergences.append(divergence)
+        records.append(
+            {
+                "kind": "link",
+                "seed": seed,
+                "n_bursts": n_bursts,
+                "agreed": divergence is None,
+            }
+        )
     return divergences, records

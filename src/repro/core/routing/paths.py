@@ -10,7 +10,7 @@ functions of (view, root), all switches route consistently.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro._types import NodeId
 from repro.core.routing.updown import UpDownOrientation
@@ -71,19 +71,38 @@ def switch_hops_of(
 
 
 class RouteComputer:
-    """Host-to-host routes over one view, optionally up*/down* restricted."""
+    """Host-to-host routes over one view, optionally up*/down* restricted.
+
+    ``epoch`` labels the reconfiguration epoch this computer serves (the
+    stringified :class:`~repro.core.reconfig.epoch.EpochTag`); the
+    orientation's route cache is keyed by computer lifetime -- a new
+    epoch installs a new computer -- and the label makes the hit/miss
+    counters attributable.  ``probes`` optionally exposes those counters
+    through the :class:`~repro.obs.registry.MetricsRegistry` as
+    ``route_cache_hits`` / ``route_cache_misses`` / ``route_cache_epoch``
+    gauges (snapshot-time reads; the routing hot path is untouched).
+    """
 
     def __init__(
         self,
         view: TopologyView,
         root: NodeId,
         restrict_updown: bool = True,
+        epoch: Optional[str] = None,
+        probes=None,
     ) -> None:
         self.view = view
         self.root = root
         self.restrict_updown = restrict_updown
-        self.orientation = UpDownOrientation(view, root)
+        self.epoch = epoch
+        self.orientation = UpDownOrientation(view, root, epoch=epoch)
         self._host_ports = view.host_ports()
+        if probes is not None:
+            orientation = self.orientation
+            probes.gauge("route_cache_hits", lambda: orientation.cache_hits)
+            probes.gauge(
+                "route_cache_misses", lambda: orientation.cache_misses
+            )
 
     # ------------------------------------------------------------------
     def attachment(

@@ -24,15 +24,63 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 from repro._types import NodeId
 from repro.net.topology import Edge, TopologyView
 
+#: Process-wide default for path memoization (see
+#: :meth:`UpDownOrientation.shortest_legal_path`).  Tests flip this off to
+#: prove cached and uncached runs are digest-identical.
+_CACHE_ENABLED = True
+
+
+def set_path_cache_enabled(enabled: bool) -> bool:
+    """Enable/disable path memoization globally; returns the old value.
+
+    The cache is a pure memo over immutable inputs -- an orientation's
+    view never changes after construction -- so this switch must never
+    change any computed route, only how often the BFS actually runs.
+    The conformance tests assert exactly that (digest equality with the
+    cache on and off).
+    """
+    global _CACHE_ENABLED
+    previous = _CACHE_ENABLED
+    _CACHE_ENABLED = bool(enabled)
+    return previous
+
+
+def path_cache_enabled() -> bool:
+    return _CACHE_ENABLED
+
+
+_PathResult = Optional[Tuple[List[NodeId], List[Edge]]]
+
+#: cache sentinel distinguishing "no entry" from a cached ``None``
+#: (destination unreachable is a perfectly cacheable answer).
+_MISS = object()
+
 
 class UpDownOrientation:
-    """Link orientations and legal-path search over one topology view."""
+    """Link orientations and legal-path search over one topology view.
 
-    def __init__(self, view: TopologyView, root: NodeId) -> None:
+    Path queries (:meth:`shortest_legal_path`,
+    :meth:`shortest_unrestricted_path`, and the down-only search behind
+    :meth:`next_hop`) are memoized per ``(source, destination)`` pair.
+    The memo needs no explicit invalidation because an orientation is an
+    immutable function of ``(view, root)``: reconfiguration installs a
+    new epoch by building a *new* orientation (see
+    ``AN2Switch._on_topology_ready``), so the epoch key is the object
+    lifetime itself.  ``epoch`` is an optional label carried for
+    observability -- the route-cache probes report hits/misses per epoch.
+    """
+
+    def __init__(
+        self,
+        view: TopologyView,
+        root: NodeId,
+        epoch: Optional[str] = None,
+    ) -> None:
         if not root.is_switch:
             raise ValueError(f"root must be a switch, got {root}")
         self.view = view
         self.root = root
+        self.epoch = epoch
         self._adjacency: Dict[NodeId, List[Tuple[NodeId, Edge]]] = {}
         for edge in sorted(view.edges):
             (node_a, _), (node_b, _) = edge
@@ -43,6 +91,42 @@ class UpDownOrientation:
             if root not in set(view.switches()):
                 raise ValueError(f"root {root} not in the topology view")
         self.levels = self._bfs_levels()
+        # (kind, source, destination) -> (nodes, edges) or None.  Entries
+        # are only written for unblocked queries; ``blocked_edges``
+        # searches (local reroute around a failure the view does not know
+        # about yet) always run the BFS.
+        self._path_cache: Dict[Tuple[str, NodeId, NodeId], _PathResult] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # ------------------------------------------------------------------
+    def _cached(
+        self, kind: str, source: NodeId, destination: NodeId, compute
+    ) -> _PathResult:
+        """Memoized path lookup.
+
+        Hits return fresh list copies: callers routinely concatenate or
+        (in reroute paths) consume the lists, and a shared mutable result
+        would let one caller corrupt every later query.
+        """
+        if not _CACHE_ENABLED:
+            return compute(source, destination)
+        key = (kind, source, destination)
+        hit = self._path_cache.get(key, _MISS)
+        if hit is not _MISS:
+            self.cache_hits += 1
+            if hit is None:
+                return None
+            nodes, edges = hit
+            return list(nodes), list(edges)
+        self.cache_misses += 1
+        result = compute(source, destination)
+        if result is None:
+            self._path_cache[key] = None
+            return None
+        nodes, edges = result
+        self._path_cache[key] = (list(nodes), list(edges))
+        return result
 
     def _bfs_levels(self) -> Dict[NodeId, int]:
         levels = {self.root: 0}
@@ -97,8 +181,19 @@ class UpDownOrientation:
 
         BFS over (switch, has-gone-down) states.  ``blocked_edges`` lets
         the local-reroute extension search around a failed cable without
-        waiting for a fresh view.
+        waiting for a fresh view; such queries bypass the memo (both on
+        read and on write) because the blocked set varies per call.
         """
+        if not blocked_edges:
+            return self._cached("legal", source, destination, self._legal_bfs)
+        return self._legal_bfs(source, destination, blocked_edges)
+
+    def _legal_bfs(
+        self,
+        source: NodeId,
+        destination: NodeId,
+        blocked_edges: Optional[FrozenSet[Edge]] = None,
+    ) -> Optional[Tuple[List[NodeId], List[Edge]]]:
         if source == destination:
             return ([source], [])
         blocked = blocked_edges or frozenset()
@@ -143,6 +238,11 @@ class UpDownOrientation:
         self, source: NodeId, destination: NodeId
     ) -> Optional[Tuple[List[NodeId], List[Edge]]]:
         """Plain BFS shortest path, for measuring the up*/down* penalty."""
+        return self._cached("free", source, destination, self._free_bfs)
+
+    def _free_bfs(
+        self, source: NodeId, destination: NodeId
+    ) -> Optional[Tuple[List[NodeId], List[Edge]]]:
         if source == destination:
             return ([source], [])
         parents: Dict[NodeId, Tuple[NodeId, Edge]] = {}
@@ -195,6 +295,11 @@ class UpDownOrientation:
         return nodes[1], edges[0]
 
     def _shortest_down_only_path(
+        self, source: NodeId, destination: NodeId
+    ) -> Optional[Tuple[List[NodeId], List[Edge]]]:
+        return self._cached("down", source, destination, self._down_bfs)
+
+    def _down_bfs(
         self, source: NodeId, destination: NodeId
     ) -> Optional[Tuple[List[NodeId], List[Edge]]]:
         if source == destination:

@@ -1,0 +1,32 @@
+"""Parallel deterministic experiment execution.
+
+The sweep engine fans a grid of experiment points (and repeated seeds)
+across worker processes while keeping every task bit-reproducible: a
+task's randomness is a pure function of ``(root seed, task name)``, each
+worker builds its own simulated world from that seed (workers never
+share a :class:`~repro.sim.kernel.Simulator`), and result payloads carry
+content digests so a parallel run can be *proved* equal to a serial one
+by replaying sampled tasks.
+"""
+
+from repro.exec.drivers import DRIVERS, driver, get_driver
+from repro.exec.engine import (
+    SweepEngine,
+    SweepResult,
+    SweepTask,
+    make_tasks,
+    payload_digest,
+    run_task,
+)
+
+__all__ = [
+    "DRIVERS",
+    "SweepEngine",
+    "SweepResult",
+    "SweepTask",
+    "driver",
+    "get_driver",
+    "make_tasks",
+    "payload_digest",
+    "run_task",
+]

@@ -1,0 +1,138 @@
+"""Named experiment drivers for the sweep engine.
+
+A driver is a function ``(params, seed) -> payload`` that builds a
+fresh simulated world from its task seed, runs one experiment point, and
+returns a plain-data payload (JSON-able scalars and lists only -- the
+payload is content-digested to prove parallel/serial equivalence, and it
+crosses process boundaries).
+
+Workers invoke drivers *by name*: a :class:`~repro.exec.engine.SweepTask`
+carries only strings and numbers, so it pickles under any multiprocessing
+start method, and each worker resolves the callable from this registry
+locally.  Register custom drivers with the :func:`driver` decorator
+before building tasks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Callable, Dict, Mapping
+
+from repro.sim.random import derived_stream
+
+Driver = Callable[[Mapping[str, Any], int], Dict[str, Any]]
+
+DRIVERS: Dict[str, Driver] = {}
+
+
+def driver(name: str) -> Callable[[Driver], Driver]:
+    """Register ``fn`` as the driver for ``name`` (decorator)."""
+
+    def register(fn: Driver) -> Driver:
+        if name in DRIVERS:
+            raise ValueError(f"driver {name!r} already registered")
+        DRIVERS[name] = fn
+        return fn
+
+    return register
+
+
+def get_driver(name: str) -> Driver:
+    try:
+        return DRIVERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown driver {name!r}; registered: {sorted(DRIVERS)}"
+        ) from None
+
+
+# ======================================================================
+# built-in drivers
+# ======================================================================
+@driver("fabric")
+def run_fabric_point(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    """One switch-fabric saturation point: VOQ + bitmask PIM under
+    Bernoulli-uniform load.  Params: ``n_ports``, ``load``, ``slots``."""
+    from repro.core.matching.bitmask import BitmaskPim
+    from repro.switch.fabric import VoqFabric, run_fabric
+    from repro.traffic.arrivals import BernoulliUniform
+
+    n_ports = int(params.get("n_ports", 16))
+    load = float(params.get("load", 0.9))
+    slots = int(params.get("slots", 2_000))
+    fabric = VoqFabric(
+        n_ports,
+        BitmaskPim(
+            n_ports,
+            iterations=3,
+            rng=derived_stream("exec/fabric/match", seed),
+        ),
+    )
+    traffic = BernoulliUniform(
+        n_ports, load, rng=derived_stream("exec/fabric/arrivals", seed)
+    )
+    metrics = run_fabric(fabric, traffic, slots, warmup_slots=slots // 10)
+    # Fold the full per-pair delivery map, not just the totals: two runs
+    # that merely agree on throughput but routed cells differently must
+    # digest differently.
+    folded = hashlib.sha256()
+    for pair in sorted(metrics.delivered_per_pair):
+        folded.update(
+            f"{pair[0]}:{pair[1]}={metrics.delivered_per_pair[pair]};".encode()
+        )
+    return {
+        "offered": metrics.cells_offered,
+        "delivered": metrics.cells_delivered,
+        "utilization": round(metrics.utilization(n_ports), 9),
+        "mean_latency_slots": (
+            round(metrics.latency.mean, 9) if metrics.latency.count else 0.0
+        ),
+        "checksum": folded.hexdigest(),
+    }
+
+
+@driver("digest")
+def run_digest_point(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    """The canonical replay scenario, reduced to its run digest.
+
+    The strongest equivalence check a worker can produce: the digest
+    folds the full event dispatch order of a booted, converged,
+    traffic-carrying network.  Params: ``duration_us``.
+    """
+    from repro.conform.digest import digest_scenario
+
+    duration_us = float(params.get("duration_us", 80_000.0))
+    return {
+        "digest": digest_scenario(seed, duration_us=duration_us),
+        "duration_us": duration_us,
+    }
+
+
+@driver("scenario")
+def run_scenario_point(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    """One canned fault scenario; payload carries the invariant verdicts.
+    Params: ``name`` in {pull_the_plug, flapping_link, credit_loss}."""
+    from repro.faults.runner import run_scenario
+    from repro.faults.scenarios import (
+        build_credit_loss,
+        build_flapping_link,
+        build_pull_the_plug,
+    )
+
+    builders = {
+        "pull_the_plug": build_pull_the_plug,
+        "flapping_link": build_flapping_link,
+        "credit_loss": build_credit_loss,
+    }
+    name = str(params.get("name", "pull_the_plug"))
+    net, plan, loads = builders[name](seed)
+    result = run_scenario(net, plan, loads)
+    return {
+        "scenario": name,
+        "passed": result.passed,
+        "invariants": [
+            [inv.name, inv.passed] for inv in result.invariants
+        ],
+        "delivered": result.delivered,
+        "faults_applied": result.faults_applied,
+    }

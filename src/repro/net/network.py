@@ -50,6 +50,7 @@ class Network:
         switch_config: Optional[SwitchConfig] = None,
         host_config: Optional[HostConfig] = None,
         drift_ppm: float = 0.0,
+        batch_cell_trains: bool = False,
     ) -> None:
         """Args:
             topology: the connection pattern to instantiate.
@@ -58,6 +59,11 @@ class Network:
             drift_ppm: if non-zero, each switch's slot clock rate is drawn
                 uniformly from [-drift_ppm, +drift_ppm] (the asynchronous-
                 network regime of section 4).
+            batch_cell_trains: build every link with cell-train delivery
+                batching (see :class:`~repro.net.link.Link`).  Delivered
+                and dropped cell sets are unchanged; kernel event counts
+                drop for bursty traffic.  Off by default because the
+                frozen replay digests record the per-cell event schedule.
         """
         self.topology = topology
         self.sim = Simulator()
@@ -118,6 +124,7 @@ class Network:
                 length_km=spec.length_km,
                 bps=spec.bps,
                 rng=self.streams.stream(f"link.{node_a}.{pa}.{node_b}.{pb}"),
+                batch_trains=batch_cell_trains,
             )
         self._started = False
 

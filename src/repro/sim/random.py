@@ -17,6 +17,18 @@ import random
 from typing import Dict
 
 
+def derived_seed(name: str, seed: int = 0) -> int:
+    """The integer seed behind :func:`derived_stream`.
+
+    Sweep engines hand this to worker processes instead of a ``Random``
+    instance: the worker re-derives its substreams locally, so a task's
+    randomness is a pure function of ``(root seed, task name)`` -- never
+    of which worker ran it, in what order, or in which process.
+    """
+    digest = hashlib.sha256(f"{seed}/{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
 def derived_stream(name: str, seed: int = 0) -> random.Random:
     """A standalone, deterministically-seeded substream for ``name``.
 
@@ -32,8 +44,7 @@ def derived_stream(name: str, seed: int = 0) -> random.Random:
     name-derived stream keeps runs reproducible end to end while
     decorrelating the components.
     """
-    digest = hashlib.sha256(f"{seed}/{name}".encode("utf-8")).digest()
-    return random.Random(int.from_bytes(digest[:8], "big"))
+    return random.Random(derived_seed(name, seed))
 
 
 class RandomStreams:

@@ -184,6 +184,13 @@ class AN2Switch(Node):
         self._started = False
         #: observers of verdict changes: callbacks (port_index, verdict).
         self.verdict_observers: List[Callable[[int, LinkVerdict], None]] = []
+        #: registry node for the per-epoch route cache counters; the
+        #: RouteComputer re-points these gauges on every reconfiguration.
+        self._routing_probes = (
+            registry.node(f"switch.{node_id}.routing")
+            if registry is not None
+            else None
+        )
         if registry is not None:
             self._register_probes(registry.node(f"switch.{node_id}"))
 
@@ -329,7 +336,15 @@ class AN2Switch(Node):
             switches = view.switches()
             root = switches[-1] if switches else self.node_id
         try:
-            self._route_computer = RouteComputer(view, root)
+            # A new epoch gets a new computer, which is what evicts every
+            # cached path from the previous configuration (the route
+            # cache lives inside the orientation; see updown.py).
+            self._route_computer = RouteComputer(
+                view,
+                root,
+                epoch=str(tag),
+                probes=self._routing_probes,
+            )
         except ValueError:
             self._route_computer = None
         if self.config.enable_local_reroute and self._route_computer:

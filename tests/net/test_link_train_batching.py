@@ -1,0 +1,234 @@
+"""Cell-train batching must be invisible except in event counts.
+
+The contract: a ``batch_trains`` link delivers/drops/corrupts exactly
+the cells the per-cell schedule would, in the same FIFO order, under
+every adjudication change mid-flight -- link cuts, restores, and
+``drop_filter`` windows opening or closing while a train is on the
+wire.  Only *when* a cell surfaces (within the train span) and how many
+kernel events that takes may differ.
+"""
+
+import pytest
+
+from repro._types import parse_node_id
+from repro.conform.oracle import compare_link_delivery, link_sweep
+from repro.net.cell import Cell, CellKind
+from repro.net.link import Link
+from repro.net.network import Network
+from repro.net.node import Node
+from repro.net.packet import Packet
+from repro.net.topology import Topology
+from repro.sim.kernel import Simulator
+from tests.conftest import fast_host_config, fast_switch_config
+
+
+class Sink(Node):
+    def __init__(self, sim, name):
+        super().__init__(sim, parse_node_id(name), 1)
+        self.received = []
+
+    def on_cell(self, port, cell):
+        self.received.append((self.sim.now, cell.payload))
+
+
+def make_link(batch, length_km=2.0, max_train_cells=64):
+    sim = Simulator()
+    a = Sink(sim, "h0")
+    b = Sink(sim, "h1")
+    link = Link(
+        sim,
+        a.port(0),
+        b.port(0),
+        length_km=length_km,
+        batch_trains=batch,
+        max_train_cells=max_train_cells,
+    )
+    return sim, a, b, link
+
+
+def burst(link, count, direction=0, kind=CellKind.DATA, start_payload=0):
+    for i in range(count):
+        link.transmit(direction, Cell(vc=0, kind=kind, payload=start_payload + i))
+
+
+class TestPlainTrains:
+    def test_same_cells_in_same_order(self):
+        outcomes = []
+        for batch in (False, True):
+            sim, _, b, link = make_link(batch)
+            burst(link, 20)
+            sim.run()
+            outcomes.append([p for _, p in b.received])
+        assert outcomes[0] == outcomes[1] == list(range(20))
+
+    def test_batching_saves_events(self):
+        sim, _, b, link = make_link(True)
+        burst(link, 32)
+        sim.run()
+        assert len(b.received) == 32
+        # One fire at the head arrival + one at the tail: 30 events saved.
+        assert link.train_events_saved == 30
+
+    def test_cells_never_surface_before_arrival(self):
+        """Batching may delay a cell within the train span, never
+        deliver it early."""
+        reference = {}
+        sim, _, b, link = make_link(False)
+        burst(link, 16)
+        sim.run()
+        for when, payload in b.received:
+            reference[payload] = when
+        sim, _, b, link = make_link(True)
+        burst(link, 16)
+        sim.run()
+        for when, payload in b.received:
+            assert when >= reference[payload] - 1e-9
+
+    def test_paced_stream_degrades_to_per_cell(self):
+        """Cells spaced wider than the serialization time never train
+        up; batching must still deliver them all, one fire each."""
+        sim, _, b, link = make_link(True)
+        for i in range(10):
+            sim.schedule_at(
+                i * 50.0 + 1.0,
+                lambda i=i: link.transmit(0, Cell(vc=0, payload=i)),
+            )
+        sim.run()
+        assert [p for _, p in b.received] == list(range(10))
+        assert link.train_events_saved == 0
+
+    def test_max_train_cells_bounds_lateness(self):
+        sim, _, b, link = make_link(True, max_train_cells=4)
+        burst(link, 16)
+        sim.run()
+        assert len(b.received) == 16
+        span = 4 * link.cell_time_us + 1e-9
+        for when, payload in b.received:
+            nominal = (payload + 1) * link.cell_time_us + link.latency_us
+            assert when - nominal <= span
+
+
+class TestFaultsMidTrain:
+    def cut_outcome(self, batch, cut_at, restore_at=None):
+        sim, _, b, link = make_link(batch)
+        burst(link, 32)
+        sim.schedule_at(cut_at, link.fail)
+        if restore_at is not None:
+            sim.schedule_at(restore_at, link.restore)
+        sim.run()
+        return (
+            [p for _, p in b.received],
+            link.cells_delivered,
+            link.cells_dropped,
+            link.data_cells_dropped,
+        )
+
+    def test_mid_train_cut_splits_identically(self):
+        # 32 cells serialize over ~22us + 10us propagation; cut lands
+        # with part of the train delivered and part in flight.
+        cut_at = 10.0 + 12 * 0.682
+        assert self.cut_outcome(False, cut_at) == self.cut_outcome(True, cut_at)
+
+    def test_cut_then_restore_mid_train(self):
+        """Cells arriving inside the dead window die; cells arriving
+        after the restore live -- batched or not."""
+        cut_at = 10.0 + 8 * 0.682
+        restore_at = cut_at + 6 * 0.682
+        reference = self.cut_outcome(False, cut_at, restore_at)
+        candidate = self.cut_outcome(True, cut_at, restore_at)
+        assert reference == candidate
+        delivered_payloads = reference[0]
+        assert delivered_payloads, "some of the train must get through"
+        assert len(delivered_payloads) < 32, "the cut must bite"
+
+    def test_filter_window_mid_train(self):
+        """A drop_filter opening and closing mid-train corrupts exactly
+        the cells whose arrivals fall inside the window."""
+
+        def run(batch):
+            sim, _, b, link = make_link(batch)
+            burst(link, 16, kind=CellKind.CREDIT)
+            burst(link, 16, kind=CellKind.DATA, start_payload=100)
+            window_open = 10.0 + 10 * 0.682
+            window_close = window_open + 8 * 0.682
+            sim.schedule_at(
+                window_open,
+                lambda: setattr(
+                    link,
+                    "drop_filter",
+                    lambda cell: cell.kind is CellKind.CREDIT,
+                ),
+            )
+            sim.schedule_at(
+                window_close, lambda: setattr(link, "drop_filter", None)
+            )
+            sim.run()
+            return [p for _, p in b.received], link.cells_corrupted
+
+        reference = run(False)
+        candidate = run(True)
+        assert reference == candidate
+        assert reference[1] > 0, "the window must corrupt something"
+
+    def test_error_rate_change_flushes_first(self):
+        """set_error_rate(1.0) mid-train may only corrupt cells that
+        arrive after the change."""
+
+        def run(batch):
+            sim, _, b, link = make_link(batch)
+            burst(link, 16)
+            sim.schedule_at(10.0 + 8 * 0.682, lambda: link.set_error_rate(1.0))
+            sim.run()
+            return [p for _, p in b.received], link.cells_corrupted
+
+        assert run(False) == run(True)
+
+
+class TestOracle:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_differential_scripts_agree(self, seed):
+        divergence = compare_link_delivery(seed)
+        assert divergence is None, str(divergence)
+
+    def test_sweep_records(self):
+        divergences, records = link_sweep(range(3), n_bursts=20)
+        assert not divergences
+        assert all(record["agreed"] for record in records)
+
+
+class TestWholeNetwork:
+    def test_packet_delivery_unchanged_end_to_end(self):
+        """A batched network delivers the same packets over a circuit as
+        an unbatched one (event schedules differ; outcomes must not)."""
+
+        def run(batch):
+            topo = Topology.grid(2, 2)
+            topo.add_host(0)
+            topo.add_host(1)
+            topo.connect("h0", "s0", port_a=0)
+            topo.connect("h1", "s3", port_a=0)
+            net = Network(
+                topo,
+                seed=4,
+                switch_config=fast_switch_config(),
+                host_config=fast_host_config(),
+                batch_cell_trains=batch,
+            )
+            net.start()
+            net.run_until(net.fully_reconfigured, timeout_us=500_000)
+            circuit = net.setup_circuit("h0", "h1")
+            source, sink = net.host("h0"), net.host("h1")
+            for index in range(20):
+                source.send_packet(
+                    circuit.vc,
+                    Packet(
+                        source=parse_node_id("h0"),
+                        destination=parse_node_id("h1"),
+                        payload=bytes([index]) * 96,
+                    ),
+                )
+            net.run(100_000)
+            assert sink.reassembly_errors == 0
+            return sorted(packet.payload[:1] for packet in sink.delivered)
+
+        assert run(False) == run(True)

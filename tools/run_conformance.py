@@ -11,9 +11,10 @@ contract") in three stages:
 2. **Differential sweep** -- drives the reference matchers
    (``Pim``/``Islip``/``FifoScheduler``) against their bitmask fast-path
    counterparts cell-by-cell from identical seeds across fabric sizes
-   and load patterns, and cross-checks AN1 against AN2 routing on shared
-   random topologies.  Any divergence is reported as the first divergent
-   ``(round, port, grant)`` tuple and fails the gate.
+   and load patterns, cross-checks AN1 against AN2 routing on shared
+   random topologies, and drives batched (cell-train) links against the
+   per-cell reference schedule under scripted faults.  Any divergence is
+   reported as the first divergent case and fails the gate.
 3. **Nondeterminism lint** -- ``tools/lint_determinism.py`` over
    ``src/repro``.
 
@@ -38,7 +39,11 @@ SRC = REPO / "src"
 sys.path.insert(0, str(SRC))
 
 from repro.conform.digest import digest_scenario  # noqa: E402
-from repro.conform.oracle import matcher_sweep, routing_sweep  # noqa: E402
+from repro.conform.oracle import (  # noqa: E402
+    link_sweep,
+    matcher_sweep,
+    routing_sweep,
+)
 
 HASHSEEDS = ("0", "1", "12345", "random")
 
@@ -87,14 +92,15 @@ def check_differential(n_seeds: int, n_slots: int) -> bool:
     seeds = list(range(n_seeds))
     divergences, corpus = matcher_sweep(seeds, n_slots=n_slots)
     routing_div, routing_corpus = routing_sweep(seeds)
-    total = len(divergences) + len(routing_div)
+    link_div, link_corpus = link_sweep(seeds)
+    total = len(divergences) + len(routing_div) + len(link_div)
     label = "OK" if total == 0 else "FAIL"
     print(
         f"      {len(corpus)} matcher cases + {len(routing_corpus)} "
-        f"routing cases -> {total} divergence(s) "
-        f"[{label}, {time.time() - t0:.1f}s]"
+        f"routing cases + {len(link_corpus)} link cases -> "
+        f"{total} divergence(s) [{label}, {time.time() - t0:.1f}s]"
     )
-    for div in list(divergences) + list(routing_div):
+    for div in list(divergences) + list(routing_div) + list(link_div):
         print(f"      {div}")
     return total == 0
 

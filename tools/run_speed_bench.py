@@ -16,6 +16,14 @@ Two modes:
     (the timed work itself changed).  Skips cleanly (exit 0) when no
     baseline file exists, so fresh clones and CI bootstrap runs pass.
 
+``python tools/run_speed_bench.py --compare BASELINE.json --tolerance 30``
+    The CI regression gate: compare against an explicit baseline file
+    with the tolerance given in *percent*.  Unlike ``--check``, a
+    missing baseline is an error (exit 2) -- a gate that silently
+    passes because its baseline vanished is no gate.  Combine with
+    ``--quick`` to time only the workloads marked cheap enough for
+    every-push smoke runs.
+
 Timings are wall-clock and machine-dependent; the baseline is only
 meaningful against timings taken on the same machine, which is exactly
 the regression-gate use case.
@@ -41,7 +49,9 @@ from benchmarks.bench_speed import SPEEDUP_PAIRS, WORKLOADS  # noqa: E402
 SCHEMA = 1
 
 
-def time_workloads(repeats: int, verbose: bool = True) -> dict:
+def time_workloads(
+    repeats: int, verbose: bool = True, quick_only: bool = False
+) -> dict:
     """Best-of-``repeats`` seconds per workload, interleaved.
 
     Interleaving the rounds (round 1 of every workload, then round 2,
@@ -49,12 +59,13 @@ def time_workloads(repeats: int, verbose: bool = True) -> dict:
     letting a slow spell land entirely on one of them, which matters for
     the derived reference/bitmask ratios.
     """
+    workloads = [w for w in WORKLOADS if w.quick or not quick_only]
     results: dict = {}
     gc_was_enabled = gc.isenabled()
     gc.disable()
     try:
         for round_index in range(repeats):
-            for workload in WORKLOADS:
+            for workload in workloads:
                 outcome = workload.run()
                 entry = results.setdefault(
                     workload.name,
@@ -105,16 +116,23 @@ def write_baseline(path: Path, results: dict) -> dict:
 
 
 def check_against_baseline(
-    path: Path, repeats: int, tolerance: float
+    path: Path,
+    repeats: int,
+    tolerance: float,
+    quick_only: bool = False,
+    missing_ok: bool = True,
 ) -> int:
     if not path.exists():
-        print(f"no baseline at {path}; skipping speed check (run "
-              f"tools/run_speed_bench.py to create one)")
-        return 0
+        if missing_ok:
+            print(f"no baseline at {path}; skipping speed check (run "
+                  f"tools/run_speed_bench.py to create one)")
+            return 0
+        print(f"FAIL no baseline at {path}; the regression gate needs one")
+        return 2
     baseline = json.loads(path.read_text())
     base_workloads = baseline.get("workloads", {})
     print(f"checking against baseline {path} (tolerance {tolerance:.0%})")
-    current = time_workloads(repeats)
+    current = time_workloads(repeats, quick_only=quick_only)
     failures = []
     for name, entry in current.items():
         base = base_workloads.get(name)
@@ -160,10 +178,24 @@ def main(argv=None) -> int:
         help="timed rounds per workload; best time wins (default 3)",
     )
     parser.add_argument(
+        "--compare",
+        type=Path,
+        default=None,
+        metavar="BASELINE.json",
+        help="regression gate: compare against this baseline file "
+        "(--tolerance is in percent here; missing baseline = exit 2)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="time only the workloads marked quick (CI smoke subset)",
+    )
+    parser.add_argument(
         "--tolerance",
         type=float,
-        default=0.25,
-        help="--check failure threshold as a fraction (default 0.25)",
+        default=None,
+        help="failure threshold: a fraction for --check (default 0.25), "
+        "a percentage for --compare (default 25)",
     )
     parser.add_argument(
         "--output",
@@ -174,10 +206,30 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
+    if args.check and args.compare:
+        parser.error("--check and --compare are mutually exclusive")
+
+    if args.compare:
+        tolerance_pct = 25.0 if args.tolerance is None else args.tolerance
+        if tolerance_pct <= 0:
+            parser.error("--tolerance must be a positive percentage")
+        return check_against_baseline(
+            args.compare,
+            args.repeats,
+            tolerance_pct / 100.0,
+            quick_only=args.quick,
+            missing_ok=False,
+        )
 
     if args.check:
-        return check_against_baseline(args.output, args.repeats, args.tolerance)
+        tolerance = 0.25 if args.tolerance is None else args.tolerance
+        return check_against_baseline(
+            args.output, args.repeats, tolerance, quick_only=args.quick
+        )
 
+    if args.quick:
+        parser.error("--quick only applies to --check / --compare runs "
+                     "(a quick-only baseline would gut the full gate)")
     print(f"timing {len(WORKLOADS)} workloads, best of {args.repeats} rounds")
     results = time_workloads(args.repeats)
     document = write_baseline(args.output, results)
