@@ -286,6 +286,79 @@ def _run_link_trains(batch: bool, bursts: int, burst_size: int) -> SpeedResult:
     return SpeedResult(elapsed, node_b.count)
 
 
+def _run_obs_overhead(traced: bool) -> SpeedResult:
+    """End-to-end network traffic, with and without full observability.
+
+    A 2x2 grid with two dual-homed hosts boots and converges untimed;
+    the timed region carries Poisson packet traffic over one circuit.
+    The ``traced`` variant attaches a live :class:`~repro.obs.Tracer`
+    with every category enabled (kernel instrumentation swap + journey
+    contexts on every sampled cell) *after* boot, so the pair measures
+    exactly what always-on diagnosis costs a hot simulation.  The
+    flight recorder is attached in both variants -- it is part of the
+    network's steady state by design.
+
+    The checksum folds delivered packets with the trace record count so
+    a change that silently alters what gets traced fails the comparison.
+    """
+    from repro.net.host import HostConfig
+    from repro.net.network import Network
+    from repro.net.topology import Topology
+    from repro.obs import Tracer
+    from repro.switch.switch import SwitchConfig
+    from repro.traffic.workload import PoissonPacketWorkload
+
+    topo = Topology.grid(2, 2)
+    topo.add_host(0)
+    topo.add_host(1)
+    topo.connect("h0", "s0", port_a=0, bps=622_000_000)
+    topo.connect("h0", "s2", port_a=1, bps=622_000_000)
+    topo.connect("h1", "s3", port_a=0, bps=622_000_000)
+    topo.connect("h1", "s1", port_a=1, bps=622_000_000)
+    net = Network(
+        topo,
+        seed=TRACE_SEED,
+        switch_config=SwitchConfig(
+            frame_slots=32,
+            control_delay_us=10.0,
+            ping_interval_us=500.0,
+            ack_timeout_us=200.0,
+            miss_threshold=2,
+            boot_reconfig_delay_us=1_500.0,
+            resync_interval_us=5_000.0,
+        ),
+        host_config=HostConfig(
+            ping_interval_us=500.0,
+            ack_timeout_us=200.0,
+            miss_threshold=2,
+            frame_slots=32,
+        ),
+    )
+    net.start()
+    net.run_until(net.converged, timeout_us=40_000.0)
+    circuit = net.setup_circuit("h0", "h1")
+    tracer = Tracer() if traced else None
+    if tracer is not None:
+        net.sim.tracer = tracer
+    workload = PoissonPacketWorkload(
+        net.sim,
+        net.host("h0"),
+        circuit.vc,
+        circuit.destination,
+        mean_interval_us=150.0,
+        packet_bytes=960,
+        rng=net.streams.stream("bench.obs_overhead.workload"),
+        duration_us=30_000.0,
+    )
+    workload.start()
+    start = time.perf_counter()
+    net.run(40_000.0)
+    elapsed = time.perf_counter() - start
+    delivered = len(net.host("h1").delivered)
+    checksum = delivered * 1_000_000 + (len(tracer) if tracer else 0)
+    return SpeedResult(elapsed, checksum)
+
+
 def _pim_reference(n_ports: int) -> ParallelIterativeMatcher:
     return ParallelIterativeMatcher(n_ports, rng=random.Random(MATCHER_SEED))
 
@@ -382,6 +455,18 @@ WORKLOADS: List[SpeedWorkload] = [
         lambda: _run_sweep(4),
     ),
     SpeedWorkload(
+        "obs_overhead_untraced",
+        "Network: 2x2 grid + 2 hosts, Poisson traffic, no tracer attached",
+        lambda: _run_obs_overhead(False),
+        quick=True,
+    ),
+    SpeedWorkload(
+        "obs_overhead_traced",
+        "Network: same traffic with full Tracer (kernel + journey) attached",
+        lambda: _run_obs_overhead(True),
+        quick=True,
+    ),
+    SpeedWorkload(
         "link_train_unbatched",
         "Link: 1.5k bursts of 32 same-instant cells, one event per cell",
         lambda: _run_link_trains(False, 1_500, 32),
@@ -405,4 +490,5 @@ SPEEDUP_PAIRS: Dict[str, Tuple[str, str]] = {
     "route_cache_speedup_n24": ("route_cache_off_n24", "route_cache_on_n24"),
     "sweep_parallel_speedup_w4": ("sweep_parallel_serial", "sweep_parallel_w4"),
     "link_train_speedup": ("link_train_unbatched", "link_train_batched"),
+    "obs_overhead_traced_cost": ("obs_overhead_traced", "obs_overhead_untraced"),
 }

@@ -275,7 +275,11 @@ def fingerprint_network(net: Network) -> Dict[str, Any]:
 # ======================================================================
 # the canonical digest scenario
 # ======================================================================
-def digest_scenario(seed: int = 0, duration_us: float = 80_000.0) -> str:
+def digest_scenario(
+    seed: int = 0,
+    duration_us: float = 80_000.0,
+    flight_dump: Optional[str] = None,
+) -> str:
     """Build, run, and digest the reference replay scenario.
 
     A 2x2 redundant grid with two dual-homed hosts boots, converges, and
@@ -284,6 +288,10 @@ def digest_scenario(seed: int = 0, duration_us: float = 80_000.0) -> str:
     the end-of-run :func:`fingerprint_network`; it must be identical for
     the same ``seed`` across repeated runs, interpreter invocations, and
     ``PYTHONHASHSEED`` values.
+
+    ``flight_dump``, if given, is a path to write the network's
+    flight-recorder rings to after the run -- the conformance gate uses
+    it to leave an autopsy artifact when digests diverge.
     """
     from repro.net.host import HostConfig
     from repro.switch.switch import SwitchConfig
@@ -334,4 +342,10 @@ def digest_scenario(seed: int = 0, duration_us: float = 80_000.0) -> str:
     net.run(duration_us)
     net.sim.digest = None
     digest.absorb("network-state", fingerprint_network(net))
+    if flight_dump is not None:
+        net.recorder.dump(
+            flight_dump,
+            reason=f"conformance replay (seed={seed}) "
+            f"digest={digest.hexdigest()[:16]}",
+        )
     return digest.hexdigest()

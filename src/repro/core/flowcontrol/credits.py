@@ -71,14 +71,15 @@ class UpstreamCredits:
         self.balance -= 1
         self.cells_sent += 1
 
-    def credit(self, amount: int = 1) -> None:
+    def credit(self, amount: int = 1) -> bool:
         """A credit cell arrived from downstream.
 
         A balance that would exceed the allocation (a duplicated credit
         cell, or a stale one arriving after resynchronization already
         restored the window) is clamped and counted in
         :attr:`excess_credits`; with :attr:`strict` set it raises
-        instead.
+        instead.  Returns ``True`` when this credit *ends* a stall
+        episode (the edge callers flight-record).
         """
         if amount <= 0:
             raise CreditError(f"non-positive credit {amount}")
@@ -92,19 +93,30 @@ class UpstreamCredits:
                 )
             self.excess_credits += self.balance - self.allocation
             self.balance = self.allocation
+        unstalled = self._stalled
+        self._stalled = False
         if self.trace is not None:
             self.trace("credit.grant", {"amount": amount, "balance": self.balance})
-            if self._stalled:
-                self._stalled = False
+            if unstalled:
                 self.trace("credit.unstall", {"stalls": self.stalls})
+        return unstalled
 
-    def note_stall(self) -> None:
+    def note_stall(self) -> bool:
+        """Count one blocked send attempt.
+
+        Returns ``True`` when this *begins* a stall episode (the first
+        blocked attempt since credit last arrived) -- callers use that
+        edge to flight-record stalls without flooding on every retry.
+        """
         self.stalls += 1
-        if self.trace is not None and not self._stalled:
-            # One event per stall *episode*; note_stall fires once per
-            # blocked pump attempt and would flood the trace otherwise.
-            self._stalled = True
+        if self._stalled:
+            return False
+        # One event per stall *episode*; note_stall fires once per
+        # blocked pump attempt and would flood the trace otherwise.
+        self._stalled = True
+        if self.trace is not None:
             self.trace("credit.stall", {"stalls": self.stalls})
+        return True
 
     def resynchronize(self, downstream_freed_total: int) -> int:
         """Reset the balance from the downstream's cumulative counter.

@@ -235,6 +235,12 @@ class ReconfigurationAgent:
                 root=parent_port is None,
                 depth=depth,
             )
+        recorder = self.sim.recorder
+        if recorder is not None:
+            recorder.record(
+                self.sim.now, f"switch.{self.node_id}", "epoch.join",
+                tag=str(tag), root=parent_port is None, depth=depth,
+            )
         self.joined.fire(tag)
         self._maybe_complete_subtree()
 
@@ -276,6 +282,13 @@ class ReconfigurationAgent:
                 edges=len(view.edges),
             )
             self._epoch_span = None
+        recorder = self.sim.recorder
+        if recorder is not None:
+            recorder.record(
+                self.sim.now, f"switch.{self.node_id}", "epoch.done",
+                tag=str(self.view_tag), edges=len(view.edges),
+                duration=self.sim.now - (self.started_at or 0.0),
+            )
         self.ready.fire((self.view_tag, view))
 
     def _watchdog_fired(self, tag: EpochTag) -> None:
@@ -286,6 +299,12 @@ class ReconfigurationAgent:
             if self.sim.tracer is not None:
                 self.sim.tracer.emit(
                     self.sim.now, "reconfig", str(self.node_id),
+                    "epoch.watchdog", tag=str(tag),
+                )
+            recorder = self.sim.recorder
+            if recorder is not None:
+                recorder.record(
+                    self.sim.now, f"switch.{self.node_id}",
                     "epoch.watchdog", tag=str(tag),
                 )
             self.trigger()

@@ -14,9 +14,12 @@ from repro.exec.engine import (
     SweepEngine,
     SweepResult,
     SweepTask,
+    SweepTelemetry,
+    TaskTiming,
     make_tasks,
     payload_digest,
     run_task,
+    run_task_timed,
 )
 
 __all__ = [
@@ -24,9 +27,12 @@ __all__ = [
     "SweepEngine",
     "SweepResult",
     "SweepTask",
+    "SweepTelemetry",
+    "TaskTiming",
     "driver",
     "get_driver",
     "make_tasks",
     "payload_digest",
     "run_task",
+    "run_task_timed",
 ]

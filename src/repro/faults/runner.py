@@ -28,6 +28,7 @@ fault windows against reconfiguration activity.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -83,6 +84,9 @@ class ScenarioResult:
     delivered: int
     faults_applied: int
     sampled_violations: List[str] = field(default_factory=list)
+    #: path of the flight-recorder dump written because an invariant
+    #: failed (``None`` when everything passed or no ``flight_dir`` set).
+    flight_dump: Optional[str] = None
 
     @property
     def passed(self) -> bool:
@@ -117,6 +121,8 @@ class ScenarioResult:
         lines.extend(f"  {result}" for result in self.invariants)
         verdict = "ALL GREEN" if self.passed else "VIOLATIONS FOUND"
         lines.append(f"verdict: {verdict}")
+        if self.flight_dump is not None:
+            lines.append(f"flight recorder dumped to {self.flight_dump}")
         return "\n".join(lines)
 
 
@@ -132,6 +138,7 @@ class ScenarioRunner:
         convergence_timeout_us: float = 2_000_000.0,
         sample_interval_us: float = 10_000.0,
         conservation_exact: Optional[bool] = None,
+        flight_dir: Optional[str] = None,
     ) -> None:
         self.net = net
         self.plan = plan
@@ -140,6 +147,15 @@ class ScenarioRunner:
         self.convergence_timeout_us = convergence_timeout_us
         self.sample_interval_us = sample_interval_us
         self.conservation_exact = conservation_exact
+        if flight_dir is None:
+            flight_dir = os.environ.get("REPRO_FLIGHT_DIR") or None
+        #: directory for flight-recorder dumps on invariant failure (and,
+        #: via the recorder's ``auto_dump_dir``, on kernel exceptions);
+        #: ``None`` disables dumping.  Defaults to ``$REPRO_FLIGHT_DIR``.
+        self.flight_dir = flight_dir
+        recorder = net.sim.recorder
+        if recorder is not None and flight_dir:
+            recorder.auto_dump_dir = flight_dir
         self._streams = net.streams.fork("faults")
         self._probes = net.registry.node("faults")
         self._events_applied = self._probes.counter("events_applied")
@@ -151,6 +167,9 @@ class ScenarioRunner:
     # tracing helpers
     # ------------------------------------------------------------------
     def _span(self, name: str, **payload):
+        recorder = self.net.sim.recorder
+        if recorder is not None:
+            recorder.record(self.net.now, "faults", name, **payload)
         tracer = self.net.sim.tracer
         if tracer is None:
             return None
@@ -160,6 +179,9 @@ class ScenarioRunner:
         tracer = self.net.sim.tracer
         if tracer is not None:
             tracer.emit(self.net.now, "faults", "scenario", name, **payload)
+        recorder = self.net.sim.recorder
+        if recorder is not None:
+            recorder.record(self.net.now, "faults", name, **payload)
 
     def _count(self, name: str, amount: int = 1) -> None:
         self._probes.counter(name).increment(amount)
@@ -424,6 +446,19 @@ class ScenarioRunner:
                 )
             )
         delivered = sum(len(h.delivered) for h in net.hosts.values())
+        flight_dump: Optional[str] = None
+        failed = [r.name for r in invariants if not r.passed]
+        recorder = net.sim.recorder
+        if failed and recorder is not None and self.flight_dir:
+            from repro.obs.flight import next_dump_path
+
+            path = next_dump_path(self.flight_dir, "invariant-violation")
+            flight_dump = str(
+                recorder.dump(
+                    path,
+                    reason="invariant violation: " + "; ".join(failed[:3]),
+                )
+            )
         return ScenarioResult(
             plan=self.plan,
             boot_us=boot_us,
@@ -434,6 +469,7 @@ class ScenarioRunner:
             delivered=delivered,
             faults_applied=self._events_applied.value,
             sampled_violations=self.sampled_violations,
+            flight_dump=flight_dump,
         )
 
 

@@ -35,6 +35,7 @@ from repro.core.reconfig.skeptic import LinkVerdict, Skeptic
 from repro.core.routing.signaling import SetupRequest, TeardownRequest
 from repro.net.aal import Reassembler, ReassemblyError, Segmenter
 from repro.net.cell import Cell, CellKind, TrafficClass
+from repro.obs.journey import attach_journey
 from repro.net.node import Node
 from repro.net.packet import Packet
 from repro.net.port import Port
@@ -306,6 +307,9 @@ class Host(Node):
             raise KeyError(f"no open circuit {vc} at {self.node_id}")
         packet.created_at = self.sim.now
         cells = sender.segmenter.segment(packet, now=self.sim.now)
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.enabled("journey"):
+            attach_journey(tracer, cells, self.sim.now, str(self.node_id))
         sender.queue.extend(cells)
         if sender.traffic_class is TrafficClass.GUARANTEED:
             self._start_pacer(sender)
@@ -317,6 +321,8 @@ class Host(Node):
         sender = self.senders.get(vc)
         if sender is None:
             raise KeyError(f"no open circuit {vc} at {self.node_id}")
+        tracer = self.sim.tracer
+        journeys = tracer is not None and tracer.enabled("journey")
         for _ in range(count):
             packet = Packet(
                 source=self.node_id,
@@ -325,9 +331,10 @@ class Host(Node):
                 size=1,
                 created_at=self.sim.now,
             )
-            sender.queue.extend(
-                sender.segmenter.segment(packet, now=self.sim.now)
-            )
+            cells = sender.segmenter.segment(packet, now=self.sim.now)
+            if journeys:
+                attach_journey(tracer, cells, self.sim.now, str(self.node_id))
+            sender.queue.extend(cells)
         if sender.traffic_class is TrafficClass.GUARANTEED:
             self._start_pacer(sender)
         else:
@@ -367,12 +374,24 @@ class Host(Node):
             if sender is None or not sender.queue:
                 continue
             if sender.upstream is not None and not sender.upstream.can_send:
-                sender.upstream.note_stall()
+                if sender.upstream.note_stall():
+                    # New stall episode (not a repeat of a blocked pump
+                    # pass): worth a flight-recorder entry.
+                    recorder = self.sim.recorder
+                    if recorder is not None:
+                        recorder.record(
+                            now, f"host.{self.node_id}", "credit.stall",
+                            vc=int(vc), stalls=sender.upstream.stalls,
+                        )
                 continue
             cell = sender.queue.popleft()
             if sender.upstream is not None:
                 sender.upstream.consume()
             sender.cells_sent += 1
+            if cell.trace_ctx is not None:
+                cell.trace_ctx.record(
+                    now, str(self.node_id), "tx", port=port.index
+                )
             port.send(cell)
             sent = True
             break
@@ -408,6 +427,10 @@ class Host(Node):
             # long the application queued behind its own reserved rate.
             cell.created_at = self.sim.now
             sender.cells_sent += 1
+            if cell.trace_ctx is not None:
+                cell.trace_ctx.record(
+                    self.sim.now, str(self.node_id), "tx", port=port.index
+                )
             port.send(cell)
         if sender.queue:
             cell_time = self.config.cell_time_us
@@ -473,21 +496,44 @@ class Host(Node):
             self.cell_latency[cell.vc] = tally
         tally.record(self.sim.now - cell.created_at)
         self.cell_arrivals.setdefault(cell.vc, []).append(self.sim.now)
+        ctx = cell.trace_ctx
+        if ctx is not None:
+            ctx.record(
+                self.sim.now, str(self.node_id), "deliver",
+                latency=self.sim.now - cell.created_at,
+            )
         aborted_before = self.reassembler.packets_aborted
         try:
             packet = self.reassembler.accept(cell)
         except ReassemblyError:
             self.reassembly_errors += 1
+            recorder = self.sim.recorder
+            if recorder is not None:
+                recorder.record(
+                    self.sim.now, f"host.{self.node_id}",
+                    "reassembly.error", vc=int(cell.vc), seq=cell.seq,
+                )
             return
         # A stale partial discarded during seq-0 resynchronization is a
         # corrupted packet too, even though the cell itself was accepted.
-        self.reassembly_errors += (
-            self.reassembler.packets_aborted - aborted_before
-        )
+        aborted = self.reassembler.packets_aborted - aborted_before
+        self.reassembly_errors += aborted
+        if aborted:
+            recorder = self.sim.recorder
+            if recorder is not None:
+                recorder.record(
+                    self.sim.now, f"host.{self.node_id}",
+                    "reassembly.abort", vc=int(cell.vc), aborted=aborted,
+                )
         if packet is not None:
             packet.delivered_at = self.sim.now
             self.delivered.append(packet)
             self.packet_latency.record(packet.latency)
+            if ctx is not None:
+                ctx.record(
+                    self.sim.now, str(self.node_id), "packet.done",
+                    latency=packet.latency,
+                )
             self.packet_delivered.fire(packet)
 
     def _accept_credit(self, port: Port, cell: Cell) -> None:
@@ -512,6 +558,13 @@ class Host(Node):
                             self.sim.now, "flowcontrol", str(self.node_id),
                             "resync.recovered",
                             vc=payload.vc, recovered=recovered,
+                        )
+                    recorder = self.sim.recorder
+                    if recorder is not None:
+                        recorder.record(
+                            self.sim.now, f"host.{self.node_id}",
+                            "resync.recovered",
+                            vc=int(payload.vc), recovered=recovered,
                         )
                     self._kick_pump()
             return

@@ -182,6 +182,11 @@ class Link:
             self.cells_dropped += 1
             if cell.kind is CellKind.DATA:
                 self.data_cells_dropped += 1
+            if cell.trace_ctx is not None:
+                cell.trace_ctx.record(
+                    self.sim.now, self.journey_label(), "wire.drop",
+                    reason="dead",
+                )
             return
         serialization = (
             self.cell_time_us if bits is None else bits / self.bps * 1e6
@@ -242,19 +247,44 @@ class Link:
                 _, cell = pending.popleft()
                 self._deliver(direction, cell)
 
+    def journey_label(self) -> str:
+        """Component name for this link's journey/flight records."""
+        return f"link.{self.port_a.label}-{self.port_b.label}"
+
     def _deliver(self, direction: int, cell: Cell) -> None:
+        ctx = cell.trace_ctx
         if not self.working:
             self.cells_dropped += 1
             if cell.kind is CellKind.DATA:
                 self.data_cells_dropped += 1
+            if ctx is not None:
+                ctx.record(
+                    self.sim.now, self.journey_label(), "wire.drop",
+                    reason="dead",
+                )
             return
         if self.drop_filter is not None and self.drop_filter(cell):
             self.cells_corrupted += 1
+            if ctx is not None:
+                ctx.record(
+                    self.sim.now, self.journey_label(), "wire.drop",
+                    reason="filtered",
+                )
             return
         if self.error_rate > 0 and self._rng.random() < self.error_rate:
             self.cells_corrupted += 1
+            if ctx is not None:
+                ctx.record(
+                    self.sim.now, self.journey_label(), "wire.drop",
+                    reason="error",
+                )
             return
         self.cells_delivered += 1
+        if ctx is not None:
+            ctx.record(
+                self.sim.now, self.journey_label(), "wire.arrive",
+                direction=direction,
+            )
         target = self.port_b if direction == 0 else self.port_a
         target.deliver(cell)
 

@@ -33,7 +33,7 @@ from repro.sim.random import RandomStreams
 from repro.switch.switch import AN2Switch, SwitchConfig
 
 import repro.obs as obs
-from repro.obs import MetricsRegistry
+from repro.obs import FlightRecorder, MetricsRegistry
 
 
 class NetworkError(Exception):
@@ -68,6 +68,12 @@ class Network:
         self.topology = topology
         self.sim = Simulator()
         self.registry = MetricsRegistry()
+        # Always-on flight recorder: bounded rings of recent protocol
+        # events (epochs, verdicts, stalls, resync, link state), read
+        # only when something dies or a dump is requested.  Lives on a
+        # plain Simulator attribute, so the kernel hot loop is untouched.
+        self.recorder = FlightRecorder()
+        self.sim.recorder = self.recorder
         cap = obs.active_capture()
         if cap is not None:
             # Built inside an observability capture (e.g. pytest
@@ -117,7 +123,7 @@ class Network:
             (node_a, pa), (node_b, pb) = spec.endpoints
             port_a = self.node(node_a).port(pa)
             port_b = self.node(node_b).port(pb)
-            self.links[spec.endpoints] = Link(
+            link = Link(
                 self.sim,
                 port_a,
                 port_b,
@@ -126,7 +132,19 @@ class Network:
                 rng=self.streams.stream(f"link.{node_a}.{pa}.{node_b}.{pb}"),
                 batch_trains=batch_cell_trains,
             )
+            self.links[spec.endpoints] = link
+            self._watch_link(f"link.{node_a}.{pa}-{node_b}.{pb}", link)
         self._started = False
+
+    def _watch_link(self, label: str, link: Link) -> None:
+        """Flight-record every state change of ``link`` under ``label``."""
+
+        def observer(_link: Link, state) -> None:
+            self.recorder.record(
+                self.sim.now, label, "link.state", state=state.value
+            )
+
+        link.state_observers.append(observer)
 
     # ==================================================================
     # access

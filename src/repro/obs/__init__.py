@@ -1,10 +1,20 @@
-"""Observability: structured tracing and the metrics registry.
+"""Observability: tracing, flight recording, profiling, and metrics.
 
-Two cooperating pieces:
+The cooperating pieces:
 
 - :class:`~repro.obs.trace.Tracer` -- timestamped structured events
   (category, component, name, payload) with span support, serialized to
   JSON Lines and rendered by ``tools/trace_report.py``;
+- :class:`~repro.obs.journey.JourneyContext` -- causal per-hop records
+  for sampled cells, segmentation to reassembly, feeding the
+  critical-path analyzer (``trace_report.py --section journey``);
+- :class:`~repro.obs.flight.FlightRecorder` -- always-on bounded rings
+  of recent protocol events per switch/link/host, dumped to JSONL when
+  an invariant fails, an exception escapes the kernel, or a digest
+  mismatch is detected;
+- :class:`~repro.obs.profiler.SubsystemProfiler` -- deterministic
+  kernel-dispatch event counts (plus optional wall time) attributed to
+  subsystems;
 - :class:`~repro.obs.registry.MetricsRegistry` -- hierarchical
   ownership of the :class:`~repro.sim.monitor.ProbeSet` probes that the
   switch, host, and fabric models feed, snapshot-able to JSON.
@@ -22,19 +32,27 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional
 
+from repro.obs.flight import FlightRecorder, next_dump_path
+from repro.obs.journey import JourneyContext, attach_journey
+from repro.obs.profiler import SubsystemProfiler
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import Span, TraceRecord, Tracer, read_jsonl
 
 __all__ = [
     "Capture",
+    "FlightRecorder",
+    "JourneyContext",
     "MetricsRegistry",
     "Span",
+    "SubsystemProfiler",
     "TraceRecord",
     "Tracer",
     "active_capture",
+    "attach_journey",
     "begin_capture",
     "capture",
     "end_capture",
+    "next_dump_path",
     "read_jsonl",
 ]
 

@@ -26,6 +26,8 @@ Categories used by the built-in instrumentation:
 - ``reconfig``     epoch lifecycle, skeptic verdicts, port-monitor timeouts
 - ``flowcontrol``  credit grants, stall/unstall transitions, resync rounds
 - ``fabric``       per-slot match rounds and VOQ active/idle transitions
+- ``journey``      per-hop causal records for sampled cells
+  (:mod:`repro.obs.journey`; sampling via :attr:`Tracer.journey_every`)
 """
 
 from __future__ import annotations
@@ -135,12 +137,17 @@ class Tracer:
             protocol-level trace).
         max_records: optional bound; once reached, further emissions are
             counted in :attr:`dropped` instead of stored.
+        journey_every: cell-journey packet sampling rate -- hosts attach
+            a :class:`~repro.obs.journey.JourneyContext` to every
+            1-in-``journey_every`` packet (default 1: every packet while
+            the ``journey`` category is enabled).
     """
 
     def __init__(
         self,
         categories: Optional[Iterable[str]] = None,
         max_records: Optional[int] = None,
+        journey_every: int = 1,
     ) -> None:
         self.records: List[TraceRecord] = []
         self.categories: Optional[Set[str]] = (
@@ -148,6 +155,11 @@ class Tracer:
         )
         self.max_records = max_records
         self.dropped = 0
+        if journey_every < 1:
+            raise ValueError(f"journey_every must be >= 1, got {journey_every}")
+        self.journey_every = journey_every
+        #: packets considered for journey sampling so far (all hosts).
+        self._journey_seen = 0
 
     # ------------------------------------------------------------------
     def enabled(self, category: str) -> bool:

@@ -17,6 +17,8 @@ from typing import TYPE_CHECKING, Any, Callable, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.conform.digest import RunDigest
+    from repro.obs.flight import FlightRecorder
+    from repro.obs.profiler import SubsystemProfiler
     from repro.obs.trace import Tracer
 
 
@@ -92,18 +94,30 @@ class Simulator:
         self._compactions = 0
         self._tracer: Optional["Tracer"] = None
         self._digest: Optional["RunDigest"] = None
+        self._profiler: Optional["SubsystemProfiler"] = None
+        #: optional :class:`~repro.obs.flight.FlightRecorder`.  A plain
+        #: attribute, deliberately *not* part of the instrumentation
+        #: swap: the recorder is never consulted per event, only when an
+        #: exception escapes :meth:`run` (and by protocol code at its own
+        #: transition points), so attaching one leaves the hot loop as
+        #: the class-level bytecode.
+        self.recorder: Optional["FlightRecorder"] = None
 
     # ------------------------------------------------------------------
-    # instrumentation (tracing + run digest)
+    # instrumentation (tracing + run digest + profiling)
     # ------------------------------------------------------------------
-    # Attaching a tracer or a digest swaps per-instance instrumented
-    # implementations of step/run into the instance dict; detaching both
-    # removes them so lookups fall back to the class methods.  The
-    # uninstrumented bytecode therefore contains no tracer/digest checks
-    # at all -- the disabled hot path is the original hot path, byte for
-    # byte.
+    # Attaching a tracer, digest, or profiler swaps per-instance
+    # instrumented implementations of step/run into the instance dict;
+    # detaching all of them removes them so lookups fall back to the
+    # class methods.  The uninstrumented bytecode therefore contains no
+    # tracer/digest/profiler checks at all -- the disabled hot path is
+    # the original hot path, byte for byte.
     def _refresh_instrumentation(self) -> None:
-        if self._tracer is not None or self._digest is not None:
+        if (
+            self._tracer is not None
+            or self._digest is not None
+            or self._profiler is not None
+        ):
             self.__dict__["step"] = self._step_instrumented
             self.__dict__["run"] = self._run_instrumented
         else:
@@ -133,6 +147,21 @@ class Simulator:
     @digest.setter
     def digest(self, digest: Optional["RunDigest"]) -> None:
         self._digest = digest
+        self._refresh_instrumentation()
+
+    @property
+    def profiler(self) -> Optional["SubsystemProfiler"]:
+        """The attached :class:`~repro.obs.profiler.SubsystemProfiler`.
+
+        While attached, every dispatched event is classified into a
+        subsystem and counted (optionally wall-timed); counts are
+        deterministic for a fixed seed, like the run digest.
+        """
+        return self._profiler
+
+    @profiler.setter
+    def profiler(self, profiler: Optional["SubsystemProfiler"]) -> None:
+        self._profiler = profiler
         self._refresh_instrumentation()
 
     # ------------------------------------------------------------------
@@ -256,17 +285,27 @@ class Simulator:
                 head.callback(*head.args)
             if until is not None and self._now < until:
                 self._now = until
+        except BaseException as exc:
+            # Flight-recorder hook: one try/except around the whole run,
+            # never per event.  The recorder folds the dying run's context
+            # into its kernel ring (and auto-dumps if configured) before
+            # the exception continues up.
+            recorder = self.recorder
+            if recorder is not None:
+                recorder.on_kernel_exception(self, exc)
+            raise
         finally:
             self._running = False
 
     # ------------------------------------------------------------------
-    # instrumented execution (installed per-instance by the tracer and
-    # digest setters via _refresh_instrumentation)
+    # instrumented execution (installed per-instance by the tracer,
+    # digest, and profiler setters via _refresh_instrumentation)
     # ------------------------------------------------------------------
     def _step_instrumented(self) -> bool:
-        """:meth:`step` plus tracer/digest observation per executed event."""
+        """:meth:`step` plus tracer/digest/profiler hooks per event."""
         tracer = self._tracer
         digest = self._digest
+        profiler = self._profiler
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
@@ -286,19 +325,23 @@ class Simulator:
                 )
             if digest is not None:
                 digest.observe(event.time, event.seq, event.callback)
-            event.callback(*event.args)
+            if profiler is None:
+                event.callback(*event.args)
+            else:
+                profiler.dispatch(event.callback, event.args)
             return True
         return False
 
     def _run_instrumented(
         self, until: Optional[float] = None, max_events: Optional[int] = None
     ) -> None:
-        """:meth:`run` plus tracer/digest observation per executed event."""
+        """:meth:`run` plus tracer/digest/profiler hooks per event."""
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         tracer = self._tracer
         digest = self._digest
+        profiler = self._profiler
         executed = 0
         try:
             while self._queue:
@@ -327,9 +370,17 @@ class Simulator:
                     )
                 if digest is not None:
                     digest.observe(head.time, head.seq, head.callback)
-                head.callback(*head.args)
+                if profiler is None:
+                    head.callback(*head.args)
+                else:
+                    profiler.dispatch(head.callback, head.args)
             if until is not None and self._now < until:
                 self._now = until
+        except BaseException as exc:
+            recorder = self.recorder
+            if recorder is not None:
+                recorder.on_kernel_exception(self, exc)
+            raise
         finally:
             self._running = False
 

@@ -290,6 +290,12 @@ class AN2Switch(Node):
             self.sim.schedule(
                 self.config.control_delay_us, self._reroute_port, port_index
             )
+        recorder = self.sim.recorder
+        if recorder is not None:
+            recorder.record(
+                self.sim.now, f"switch.{self.node_id}", "skeptic.verdict",
+                port=port_index, verdict=verdict.value,
+            )
         for observer in list(self.verdict_observers):
             observer(port_index, verdict)
 
@@ -553,6 +559,11 @@ class AN2Switch(Node):
                 # byzantine one loses the cell (counted, not crashed).
                 card.cells_dropped += 1
                 self.stats.cells_dropped += 1
+                if cell.trace_ctx is not None:
+                    cell.trace_ctx.record(
+                        self.sim.now, f"switch.{self.node_id}", "drop",
+                        in_port=in_port, reason="overflow",
+                    )
                 return
         entry = card.routing_table.lookup(cell.vc)
         if entry is None:
@@ -575,6 +586,11 @@ class AN2Switch(Node):
 
     def _enqueue(self, card: LineCard, entry, cell: Cell) -> None:
         entry.last_activity = self.sim.now
+        if cell.trace_ctx is not None:
+            cell.trace_ctx.record(
+                self.sim.now, f"switch.{self.node_id}", "voq.enqueue",
+                in_port=card.index, out_port=entry.out_port,
+            )
         if cell.traffic_class is TrafficClass.GUARANTEED:
             card.guaranteed_queues.push(entry.out_port, cell)
         elif entry.is_multicast:
@@ -613,12 +629,27 @@ class AN2Switch(Node):
                             "resync.recovered",
                             vc=payload.vc, recovered=recovered,
                         )
+                    recorder = self.sim.recorder
+                    if recorder is not None:
+                        recorder.record(
+                            self.sim.now, f"switch.{self.node_id}",
+                            "resync.recovered",
+                            port=port_index, vc=int(payload.vc),
+                            recovered=recovered,
+                        )
                     self._kick()
             return
         upstream = card.upstream.get(cell.vc)
         if upstream is None:
             return  # circuit torn down while the credit was in flight
-        upstream.credit(payload if isinstance(payload, int) else 1)
+        if upstream.credit(payload if isinstance(payload, int) else 1):
+            recorder = self.sim.recorder
+            if recorder is not None:
+                recorder.record(
+                    self.sim.now, f"switch.{self.node_id}", "credit.unstall",
+                    port=port_index, vc=int(cell.vc),
+                    stalls=upstream.stalls,
+                )
         self._kick()
 
     # ==================================================================
@@ -719,6 +750,11 @@ class AN2Switch(Node):
             self._kick()
 
     def _transmit(self, out_port: int, cell: Cell, guaranteed: bool) -> None:
+        if cell.trace_ctx is not None:
+            cell.trace_ctx.record(
+                self.sim.now, f"switch.{self.node_id}", "grant",
+                out_port=out_port, guaranteed=guaranteed,
+            )
         self.ports[out_port].send(cell)
         self.crossbar.note_transfer(guaranteed=guaranteed)
         self.stats.cells_forwarded += 1
@@ -741,6 +777,7 @@ class AN2Switch(Node):
     # ==================================================================
     def _resync_tick(self) -> None:
         tracer = self.sim.tracer
+        recorder = self.sim.recorder
         for card in self.cards:
             if not card.port.connected:
                 continue
@@ -751,6 +788,12 @@ class AN2Switch(Node):
                         self.sim.now, "flowcontrol",
                         f"{self.node_id}.p{card.index}", "resync.round",
                         vc=vc, cells_sent=request.cells_sent,
+                    )
+                if recorder is not None:
+                    recorder.record(
+                        self.sim.now, f"switch.{self.node_id}",
+                        "resync.round", port=card.index, vc=int(vc),
+                        cells_sent=request.cells_sent,
                     )
                 card.port.send(
                     Cell(vc=vc, kind=CellKind.CREDIT, payload=request)

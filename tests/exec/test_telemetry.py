@@ -1,0 +1,87 @@
+"""Sweep-engine telemetry: phase timings without changing the results."""
+
+import os
+
+from repro.exec import SweepEngine, make_tasks, run_task_timed
+
+GRID = {"n_ports": [4, 8], "load": [0.5], "slots": [120]}
+
+
+def _tasks(repeats=2):
+    return make_tasks("fabric", GRID, repeats=repeats, root_seed=11)
+
+
+def test_serial_telemetry_matches_plain_run():
+    tasks = _tasks()
+    plain = SweepEngine(workers=0).run(tasks)
+    timed = SweepEngine(workers=0).run(tasks, telemetry=True)
+    assert [r.digest for r in timed] == [r.digest for r in plain]
+
+
+def test_serial_telemetry_records_execute_phase():
+    engine = SweepEngine(workers=0)
+    engine.run(_tasks(), telemetry=True)
+    telemetry = engine.last_telemetry
+    assert telemetry is not None
+    assert telemetry.workers == 1
+    assert len(telemetry.tasks) == 4
+    assert all(t.execute_s > 0.0 for t in telemetry.tasks)
+    assert all(t.dispatch_s == 0.0 for t in telemetry.tasks)
+    assert all(t.worker == os.getpid() for t in telemetry.tasks)
+    assert telemetry.wall_s > 0.0
+
+
+def test_parallel_telemetry_matches_plain_run():
+    tasks = _tasks()
+    plain = SweepEngine(workers=0).run(tasks)
+    engine = SweepEngine(workers=2)
+    timed = engine.run(tasks, telemetry=True)
+    assert [r.digest for r in timed] == [r.digest for r in plain]
+    assert [r.task.name for r in timed] == [t.name for t in tasks]
+    telemetry = engine.last_telemetry
+    assert telemetry is not None
+    assert telemetry.workers == 2
+    assert telemetry.pool_startup_s > 0.0
+    assert len(telemetry.tasks) == 4
+    parent = os.getpid()
+    assert all(t.worker != parent for t in telemetry.tasks)
+    assert all(t.execute_s > 0.0 for t in telemetry.tasks)
+    # phases are clamped non-negative even across process clocks
+    for t in telemetry.tasks:
+        assert t.serialize_s >= 0.0
+        assert t.dispatch_s >= 0.0
+        assert t.merge_s >= 0.0
+
+
+def test_per_worker_aggregation_and_render():
+    engine = SweepEngine(workers=2)
+    engine.run(_tasks(), telemetry=True)
+    telemetry = engine.last_telemetry
+    per_worker = telemetry.per_worker()
+    assert sum(row["tasks"] for row in per_worker.values()) == 4
+    assert 1 <= len(per_worker) <= 2
+    totals = telemetry.phase_totals()
+    assert set(totals) == {"serialize", "dispatch", "execute", "merge"}
+    rendered = telemetry.render()
+    assert "sweep telemetry" in rendered
+    assert "pool startup" in rendered
+    assert "dispatch_ms" in rendered
+    for pid in per_worker:
+        assert str(pid) in rendered
+
+
+def test_run_task_timed_wraps_run_task():
+    task = _tasks(repeats=1)[0]
+    result, pid, start, end, execute_s = run_task_timed(task)
+    assert pid == os.getpid()
+    assert end >= start
+    assert 0.0 < execute_s <= (end - start) + 1e-9
+    from repro.exec import run_task
+
+    assert result.digest == run_task(task).digest
+
+
+def test_no_telemetry_by_default():
+    engine = SweepEngine(workers=0)
+    engine.run(_tasks())
+    assert engine.last_telemetry is None

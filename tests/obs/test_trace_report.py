@@ -93,3 +93,97 @@ def test_report_without_metrics_still_renders_timeline(captured_run, capsys):
     assert rc == 0
     out = capsys.readouterr().out
     assert "Reconfiguration timeline" in out
+
+
+# ----------------------------------------------------------------------
+# tolerant loading: missing, empty, and truncated inputs
+# ----------------------------------------------------------------------
+def test_missing_file_exits_2_with_message(tmp_path, capsys):
+    rc = trace_report.main([str(tmp_path / "nope.jsonl")])
+    assert rc == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_empty_file_exits_0(tmp_path, capsys):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    rc = trace_report.main([str(empty)])
+    assert rc == 0
+    assert "no trace records" in capsys.readouterr().out
+
+
+def test_truncated_lines_are_skipped_with_warning(tmp_path, capsys):
+    path = tmp_path / "truncated.jsonl"
+    good = json.dumps(
+        {"t": 1.0, "cat": "reconfig", "comp": "s0", "name": "epoch.trigger",
+         "data": {"tag": "e1@s0"}}
+    )
+    # a valid record, a line cut mid-write, and a non-object line
+    path.write_text(good + "\n" + good[: len(good) // 2] + "\n42\n")
+    rc = trace_report.main([str(path)])
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "skipping malformed line" in captured.err
+    assert "1 trace records" in captured.out
+
+
+def test_fully_truncated_file_exits_0(tmp_path, capsys):
+    path = tmp_path / "garbage.jsonl"
+    path.write_text('{"t": 1.0, "cat": "reconf\n{"broken\n')
+    rc = trace_report.main([str(path)])
+    assert rc == 0
+    assert "no trace records" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# journey section
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def journey_trace(tmp_path_factory):
+    """A journey-traced traffic run over a converged line."""
+    from repro.net.packet import Packet
+
+    from tests.conftest import converged_line
+
+    out = tmp_path_factory.mktemp("journey")
+    net = converged_line(3)
+    tracer = obs.Tracer(categories=["journey"])
+    net.sim.tracer = tracer
+    circuit = net.setup_circuit("h0", "h1")
+    host = net.host("h0")
+    for _ in range(3):
+        host.send_packet(
+            circuit.vc,
+            Packet(
+                source=host.node_id,
+                destination=host.senders[circuit.vc].destination,
+                payload=bytes(300),
+            ),
+        )
+        net.run(3_000.0)
+    net.run(20_000.0)
+    path = out / "journey.trace.jsonl"
+    tracer.write_jsonl(path)
+    return path
+
+
+def test_journey_section_decomposes_critical_path(journey_trace, capsys):
+    rc = trace_report.main([str(journey_trace), "--section", "journey"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Cell journeys (critical path)" in out
+    assert "queueing" in out
+    assert "matching" in out
+    assert "wire" in out
+    assert "Slowest cell" in out
+    # the hop timeline walks the whole path
+    for stage in ("segment", "tx", "wire.arrive", "voq.enqueue",
+                  "grant", "deliver"):
+        assert stage in out
+
+
+def test_journey_section_without_journey_records(captured_run, capsys):
+    trace_path, _ = captured_run
+    rc = trace_report.main([str(trace_path), "--section", "journey"])
+    assert rc == 0
+    assert "no journey records" in capsys.readouterr().out

@@ -83,6 +83,16 @@ def check_digest_stability(runs: int, scenario_seed: int) -> bool:
     else:
         for d in sorted(distinct):
             print(f"      saw {d}")
+        # Leave an autopsy artifact: replay the scenario once more with
+        # its flight recorder dumped, so CI can upload what the protocol
+        # layers were doing in the run that produced this digest.
+        directory = os.environ.get("REPRO_FLIGHT_DIR") or "flight-dumps"
+        dump = Path(directory) / f"flight-digest-mismatch-seed{scenario_seed}.jsonl"
+        try:
+            digest_scenario(seed=scenario_seed, flight_dump=str(dump))
+            print(f"      flight recorder dumped to {dump}")
+        except OSError as exc:  # pragma: no cover - dump dir unwritable
+            print(f"      (flight dump failed: {exc})")
     return ok
 
 

@@ -71,6 +71,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="write the JSONL trace here for tools/trace_report.py",
     )
     parser.add_argument(
+        "--flight-dir", default=None, metavar="DIR",
+        help="dump the flight recorder here when an invariant fails "
+        "(defaults to $REPRO_FLIGHT_DIR if set)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list canned scenarios and exit"
     )
     parser.add_argument(
@@ -110,10 +115,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     print(f"scenario: {title}")
     print()
-    result = ScenarioRunner(net, plan, loads).run()
+    result = ScenarioRunner(net, plan, loads, flight_dir=args.flight_dir).run()
     print(result.report())
 
     if args.trace_out:
+        Path(args.trace_out).parent.mkdir(parents=True, exist_ok=True)
         count = tracer.write_jsonl(args.trace_out)
         print(f"\n{count} trace records written to {args.trace_out}")
 

@@ -80,6 +80,11 @@ def main() -> int:
         "--json", type=Path, default=None,
         help="write results (tasks, payloads, digests) to this file",
     )
+    parser.add_argument(
+        "--no-profile", action="store_true",
+        help="skip the per-phase/per-worker timing table (uses the "
+        "uninstrumented pool.map path)",
+    )
     args = parser.parse_args()
 
     grid = parse_grid(args.grid) or {"_default": [0]}
@@ -88,7 +93,7 @@ def main() -> int:
     )
     engine = SweepEngine(workers=args.workers)
     started = time.perf_counter()
-    results = engine.run(tasks)
+    results = engine.run(tasks, telemetry=not args.no_profile)
     elapsed = time.perf_counter() - started
     print(
         f"{len(results)} tasks ({args.driver}) in {elapsed:.2f}s "
@@ -96,6 +101,8 @@ def main() -> int:
     )
     for result in results:
         print(f"  {result.task.name}: {result.digest[:16]}")
+    if engine.last_telemetry is not None:
+        print(engine.last_telemetry.render())
 
     status = 0
     if args.verify > 0:
