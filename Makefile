@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-speed speed-smoke sweep examples all clean
+.PHONY: install test bench bench-speed speed-smoke topo-smoke sweep examples all clean
 
 install:
 	pip install -e .
@@ -23,6 +23,12 @@ bench-speed:
 # tolerance, missing baseline is an error.
 speed-smoke:
 	$(PYTHON) tools/run_speed_bench.py --compare BENCH_speed.json --quick --tolerance 60 --repeats 2
+
+# Topology-scale gate: structured fabric generation, one reconfiguration
+# epoch, and incremental-vs-rebuild digest equality (exit non-zero on
+# any divergence).
+topo-smoke:
+	$(PYTHON) tools/run_topo_smoke.py
 
 # Parallel sweep with serial digest verification (exit non-zero on any
 # parallel-vs-serial divergence).

@@ -359,6 +359,54 @@ def _run_obs_overhead(traced: bool) -> SpeedResult:
     return SpeedResult(elapsed, checksum)
 
 
+def _run_topo_delta(k: int, n_deltas: int, incremental: bool) -> SpeedResult:
+    """Single-edge reconfigurations on a k-ary fat-tree at datacenter scale.
+
+    A ``fat_tree(k)`` fabric (k=32 -> 1280 switches, 16384 switch cables)
+    and its up*/down* orientation are built untimed; the timed region
+    applies ``n_deltas`` distinct single-cable-failure deltas to the
+    *base* orientation, either by repairing it incrementally
+    (:meth:`UpDownOrientation.apply_delta`) or by rebuilding the
+    orientation of the new view from scratch -- the epoch install path's
+    two strategies.  The checksum folds every result's
+    ``structure_digest()``, so the incremental and rebuild workloads
+    MUST produce the same checksum: the runner's checksum equality check
+    doubles as the digest-exactness proof for the incremental repair.
+    """
+    from repro.core.routing.updown import UpDownOrientation
+    from repro.net.topogen import fat_tree
+    from repro.net.topology import TopologyDelta
+
+    structured = fat_tree(k)
+    view = structured.view()
+    root = structured.default_root()
+    base = UpDownOrientation(view, root)
+    switch_edges = sorted(
+        edge
+        for edge in view.edges
+        if edge[0][0].is_switch and edge[1][0].is_switch
+    )
+    rng = random.Random(TRACE_SEED)
+    deltas = [
+        TopologyDelta(removed=frozenset([edge]))
+        for edge in rng.sample(switch_edges, n_deltas)
+    ]
+    repaired: List[UpDownOrientation] = []
+    start = time.perf_counter()
+    for delta in deltas:
+        if incremental:
+            repaired.append(base.apply_delta(delta))
+        else:
+            repaired.append(UpDownOrientation(delta.apply_to(view), root))
+    elapsed = time.perf_counter() - start
+    # Digesting is verification, not repair: fold it outside the timer
+    # (like _run_sweep) so the pair compares the recompute hot loop only.
+    folded = hashlib.sha256()
+    for orientation in repaired:
+        folded.update(orientation.structure_digest().encode("ascii"))
+    return SpeedResult(elapsed, int.from_bytes(folded.digest()[:8], "big"))
+
+
 def _pim_reference(n_ports: int) -> ParallelIterativeMatcher:
     return ParallelIterativeMatcher(n_ports, rng=random.Random(MATCHER_SEED))
 
@@ -473,6 +521,18 @@ WORKLOADS: List[SpeedWorkload] = [
         quick=True,
     ),
     SpeedWorkload(
+        "topo_rebuild_fattree_k32",
+        "UpDownOrientation: 8 single-cable deltas, k=32 fat-tree (1280 sw), full rebuild each",
+        lambda: _run_topo_delta(32, 8, incremental=False),
+        quick=True,
+    ),
+    SpeedWorkload(
+        "topo_incremental_fattree_k32",
+        "UpDownOrientation: same 8 deltas on the same fabric, incremental apply_delta",
+        lambda: _run_topo_delta(32, 8, incremental=True),
+        quick=True,
+    ),
+    SpeedWorkload(
         "link_train_batched",
         "Link: same bursts with batch_trains, one event chain per train",
         lambda: _run_link_trains(True, 1_500, 32),
@@ -490,5 +550,9 @@ SPEEDUP_PAIRS: Dict[str, Tuple[str, str]] = {
     "route_cache_speedup_n24": ("route_cache_off_n24", "route_cache_on_n24"),
     "sweep_parallel_speedup_w4": ("sweep_parallel_serial", "sweep_parallel_w4"),
     "link_train_speedup": ("link_train_unbatched", "link_train_batched"),
+    "topo_incremental_vs_rebuild": (
+        "topo_rebuild_fattree_k32",
+        "topo_incremental_fattree_k32",
+    ),
     "obs_overhead_traced_cost": ("obs_overhead_traced", "obs_overhead_untraced"),
 }

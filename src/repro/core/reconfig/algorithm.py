@@ -43,7 +43,7 @@ from repro.core.reconfig.messages import (
     TopologyDistribute,
     TopologyReport,
 )
-from repro.net.topology import Edge, TopologyView
+from repro.net.topology import Edge, TopologyDelta, TopologyView
 from repro.sim.kernel import Event, Simulator
 from repro.sim.process import Signal
 
@@ -109,6 +109,11 @@ class ReconfigurationAgent:
         # Results.
         self.view: Optional[TopologyView] = None
         self.view_tag: Optional[EpochTag] = None
+        #: What changed relative to the previous completed epoch's view
+        #: (``None`` until a *second* epoch completes).  The epoch install
+        #: path uses this to recompute routes incrementally instead of
+        #: rebuilding the orientation from scratch.
+        self.view_delta: Optional[TopologyDelta] = None
         self.ready = Signal(f"{node_id}.topology_ready")
         #: fires with the new tag whenever this agent *joins* a
         #: configuration (triggering or accepting an invitation).  AN1
@@ -271,6 +276,11 @@ class ReconfigurationAgent:
                 self._send(child, TopologyDistribute(self.stored_tag, view.edges))
         self.active = False
         self._cancel_watchdog()
+        self.view_delta = (
+            TopologyDelta.between(self.view, view)
+            if self.view is not None
+            else None
+        )
         self.view = view
         self.view_tag = self.stored_tag
         self.completed_at = self.sim.now
@@ -284,10 +294,13 @@ class ReconfigurationAgent:
             self._epoch_span = None
         recorder = self.sim.recorder
         if recorder is not None:
+            delta = self.view_delta
             recorder.record(
                 self.sim.now, f"switch.{self.node_id}", "epoch.done",
                 tag=str(self.view_tag), edges=len(view.edges),
                 duration=self.sim.now - (self.started_at or 0.0),
+                edges_added=len(delta.added) if delta else 0,
+                edges_removed=len(delta.removed) if delta else 0,
             )
         self.ready.fire((self.view_tag, view))
 

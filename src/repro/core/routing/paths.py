@@ -14,7 +14,7 @@ from typing import List, Optional, Tuple
 
 from repro._types import NodeId
 from repro.core.routing.updown import UpDownOrientation
-from repro.net.topology import Edge, TopologyView
+from repro.net.topology import Edge, TopologyDelta, TopologyView
 
 
 class RoutingError(Exception):
@@ -90,19 +90,102 @@ class RouteComputer:
         restrict_updown: bool = True,
         epoch: Optional[str] = None,
         probes=None,
+        *,
+        _orientation: Optional[UpDownOrientation] = None,
+        _host_ports=None,
     ) -> None:
         self.view = view
         self.root = root
         self.restrict_updown = restrict_updown
         self.epoch = epoch
-        self.orientation = UpDownOrientation(view, root, epoch=epoch)
-        self._host_ports = view.host_ports()
+        if _orientation is not None:
+            self.orientation = _orientation
+        else:
+            self.orientation = UpDownOrientation(view, root, epoch=epoch)
+        #: True when this computer was produced by :meth:`with_view`'s
+        #: incremental path rather than a from-scratch build.
+        self.incremental = _orientation is not None
+        self._host_ports = (
+            _host_ports if _host_ports is not None else view.host_ports()
+        )
         if probes is not None:
             orientation = self.orientation
             probes.gauge("route_cache_hits", lambda: orientation.cache_hits)
             probes.gauge(
                 "route_cache_misses", lambda: orientation.cache_misses
             )
+
+    # ------------------------------------------------------------------
+    def with_view(
+        self,
+        view: TopologyView,
+        epoch: Optional[str] = None,
+        probes=None,
+    ) -> "RouteComputer":
+        """The next epoch's computer, recomputed incrementally.
+
+        Computes the :class:`~repro.net.topology.TopologyDelta` between
+        this computer's view and ``view`` and repairs the up*/down*
+        orientation over the affected region only (see
+        :meth:`UpDownOrientation.apply_delta`) instead of rebuilding the
+        world.  The root must be unchanged -- the orientation is a
+        function of (view, root) -- and the new view must still be
+        connected from it; both raise ``ValueError``, exactly as a
+        from-scratch build of ``view`` would, so callers fall back the
+        same way.
+        """
+        delta = TopologyDelta.between(self.view, view)
+        orientation = self.orientation.apply_delta(delta, epoch=epoch)
+        return RouteComputer(
+            view,
+            self.root,
+            restrict_updown=self.restrict_updown,
+            epoch=epoch,
+            probes=probes,
+            _orientation=orientation,
+            _host_ports=self._patched_host_ports(delta),
+        )
+
+    def _patched_host_ports(self, delta: TopologyDelta):
+        """Host attachments for the new view, patched from this one.
+
+        Mirrors :meth:`TopologyView.host_ports` (whose per-host lists are
+        fully sorted, so patch-then-sort reproduces a rebuild exactly)
+        without the O(E) scan over every cable in the fabric.
+        """
+        changed = {
+            node
+            for edge in delta.added | delta.removed
+            for node, _ in edge
+            if node.is_host
+        }
+        if not changed:
+            return self._host_ports
+        ports = dict(self._host_ports)
+        removed = delta.removed
+        for host in sorted(changed):
+            entries = [
+                entry
+                for entry in ports.get(host, [])
+                if self._host_entry_edge(host, entry) not in removed
+            ]
+            for (na, pa), (nb, pb) in delta.added:
+                if na == host and nb.is_switch:
+                    entries.append((pa, nb, pb))
+                elif nb == host and na.is_switch:
+                    entries.append((pb, na, pa))
+            if entries:
+                entries.sort()
+                ports[host] = entries
+            else:
+                ports.pop(host, None)
+        return ports
+
+    @staticmethod
+    def _host_entry_edge(host: NodeId, entry) -> Edge:
+        host_port, switch, switch_port = entry
+        a, b = (host, host_port), (switch, switch_port)
+        return (a, b) if a <= b else (b, a)
 
     # ------------------------------------------------------------------
     def attachment(

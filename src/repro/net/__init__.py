@@ -11,7 +11,9 @@ below the distributed algorithms of :mod:`repro.core`:
   injection,
 - :mod:`repro.net.node` -- the base class for switches and hosts,
 - :mod:`repro.net.topology` -- connection-pattern descriptions and
-  generators (including the paper's Figure-1-style SRC installation).
+  generators (including the paper's Figure-1-style SRC installation),
+- :mod:`repro.net.topogen` -- structured datacenter-scale generators
+  (k-ary fat-tree, spine-leaf, folded Clos) with tier/pod metadata.
 """
 
 from repro.net.aal import Reassembler, Segmenter
@@ -21,7 +23,13 @@ from repro.net.link import Link, LinkState
 from repro.net.network import Network, NetworkError
 from repro.net.packet import Packet
 from repro.net.port import Port
-from repro.net.topology import Topology, TopologyError, TopologyView
+from repro.net.topogen import StructuredTopology, fat_tree, folded_clos, spine_leaf
+from repro.net.topology import (
+    Topology,
+    TopologyDelta,
+    TopologyError,
+    TopologyView,
+)
 
 __all__ = [
     "Cell",
@@ -36,8 +44,13 @@ __all__ = [
     "Port",
     "Reassembler",
     "Segmenter",
+    "StructuredTopology",
     "Topology",
+    "TopologyDelta",
     "TopologyError",
     "TopologyView",
     "TrafficClass",
+    "fat_tree",
+    "folded_clos",
+    "spine_leaf",
 ]

@@ -20,6 +20,7 @@ switch core).
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
@@ -59,6 +60,11 @@ class Topology:
         self._hosts: Set[NodeId] = set()
         self._cables: Dict[Edge, CableSpec] = {}
         self._used_ports: Dict[NodeId, Set[int]] = {}
+        #: Set by :meth:`random_connected`: how many redundant cables were
+        #: requested and how many actually landed (port exhaustion can
+        #: leave a shortfall; scale experiments must be able to see it).
+        self.extra_edges_requested: int = 0
+        self.extra_edges_added: int = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -206,9 +212,16 @@ class Topology:
 
     @classmethod
     def ring(cls, n_switches: int, length_km: float = 0.1) -> "Topology":
+        if n_switches < 3:
+            # The closing cable would be a duplicate (n=2) or a self-loop
+            # (n=1); silently returning a line here used to mask broken
+            # experiment setups, so refuse instead.
+            raise TopologyError(
+                f"ring needs at least 3 switches, got {n_switches} "
+                "(use Topology.line for smaller chains)"
+            )
         topo = cls.line(n_switches, length_km=length_km)
-        if n_switches > 2:
-            topo.connect(switch_id(n_switches - 1), switch_id(0), length_km=length_km)
+        topo.connect(switch_id(n_switches - 1), switch_id(0), length_km=length_km)
         return topo
 
     @classmethod
@@ -252,6 +265,13 @@ class Topology:
         fallback was a shared ``random.Random(0)``, which correlated the
         default topology with every other component's default draws;
         passing an explicit ``rng`` is unchanged and preferred.)
+
+        When the attempt budget or the port supply runs out before all
+        ``extra_edges`` redundant cables land, the shortfall is recorded
+        on the returned topology (``extra_edges_requested`` vs
+        ``extra_edges_added``) and a :class:`RuntimeWarning` is issued --
+        a scale experiment asking for a fat fabric must not silently run
+        on a thin one.
         """
         rng = rng if rng is not None else derived_stream("topology.random_connected")
         topo = cls()
@@ -278,6 +298,17 @@ class Topology:
                 continue  # a node ran out of ports
             present.add(key)
             added += 1
+        topo.extra_edges_requested = extra_edges
+        topo.extra_edges_added = added
+        if added < extra_edges:
+            warnings.warn(
+                f"random_connected({n_switches}): only {added} of "
+                f"{extra_edges} requested redundant cables were added "
+                "(port supply or attempt budget exhausted); the fabric is "
+                "thinner than requested",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return topo
 
     @classmethod
@@ -370,6 +401,83 @@ class TopologyView:
 
     def __len__(self) -> int:
         return len(self.edges)
+
+
+@dataclass(frozen=True)
+class TopologyDelta:
+    """The difference between two topology views: cables added/removed.
+
+    This is the unit of *incremental* route recomputation: a
+    reconfiguration epoch whose view differs from the previous one by a
+    delta can repair the up*/down* orientation instead of rebuilding it
+    (see :meth:`repro.core.routing.updown.UpDownOrientation.apply_delta`).
+    Edges are canonical (endpoint-sorted), matching
+    :class:`TopologyView`'s representation.
+    """
+
+    added: FrozenSet[Edge] = field(default_factory=frozenset)
+    removed: FrozenSet[Edge] = field(default_factory=frozenset)
+
+    @classmethod
+    def between(cls, old: TopologyView, new: TopologyView) -> "TopologyDelta":
+        """The delta that turns ``old`` into ``new``."""
+        return cls(
+            added=new.edges - old.edges, removed=old.edges - new.edges
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.added and not self.removed
+
+    def __len__(self) -> int:
+        return len(self.added) + len(self.removed)
+
+    def switch_endpoints(self) -> Set[NodeId]:
+        """Switches incident to any added or removed cable."""
+        nodes: Set[NodeId] = set()
+        for (na, _), (nb, _) in self.added | self.removed:
+            if na.is_switch:
+                nodes.add(na)
+            if nb.is_switch:
+                nodes.add(nb)
+        return nodes
+
+    def invert(self) -> "TopologyDelta":
+        return TopologyDelta(added=self.removed, removed=self.added)
+
+    def apply_to(self, view: TopologyView) -> TopologyView:
+        """``view`` with this delta applied; validates applicability.
+
+        Every removed cable must exist, no added cable may already exist,
+        and an added cable may not claim a (node, port) slot another
+        surviving cable occupies -- the same physical rules
+        :class:`Topology` enforces at construction time.
+        """
+        missing = self.removed - view.edges
+        if missing:
+            raise TopologyError(
+                f"delta removes {len(missing)} edge(s) not in the view "
+                f"(e.g. {sorted(missing)[0]})"
+            )
+        present = self.added & view.edges
+        if present:
+            raise TopologyError(
+                f"delta adds {len(present)} edge(s) already in the view "
+                f"(e.g. {sorted(present)[0]})"
+            )
+        surviving = (view.edges - self.removed)
+        occupied: Set[Endpoint] = set()
+        for (a, b) in surviving:
+            occupied.add(a)
+            occupied.add(b)
+        for edge in sorted(self.added):
+            for endpoint in edge:
+                if endpoint in occupied:
+                    raise TopologyError(
+                        f"delta edge {edge} reuses occupied port {endpoint}"
+                    )
+                occupied.add(endpoint)
+        return TopologyView(surviving | self.added)
 
 
 def view_from_edges(edges: Iterable[Edge]) -> TopologyView:

@@ -211,6 +211,13 @@ class An1Switch(Node):
         if root not in set(view.switches()):
             switches = view.switches()
             root = switches[-1] if switches else self.node_id
+        previous = self._route_computer
+        if previous is not None and previous.root == root:
+            try:
+                self._route_computer = previous.with_view(view)
+                return
+            except ValueError:
+                pass  # delta incompatible (e.g. disconnection): rebuild
         try:
             self._route_computer = RouteComputer(view, root)
         except ValueError:

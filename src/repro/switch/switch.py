@@ -123,6 +123,10 @@ class SwitchStats:
     page_ins: int = 0
     reroutes: int = 0
     broken_circuits: int = 0
+    #: epoch route installs served by incremental delta recomputation vs
+    #: from-scratch orientation rebuilds (see _on_topology_ready).
+    route_installs_incremental: int = 0
+    route_installs_full: int = 0
     per_output_forwarded: Dict[int, int] = field(default_factory=dict)
 
 
@@ -341,6 +345,21 @@ class AN2Switch(Node):
         if root not in set(view.switches()):
             switches = view.switches()
             root = switches[-1] if switches else self.node_id
+        previous = self._route_computer
+        if previous is not None and previous.root == root:
+            # Same root, new view: repair the orientation over the delta
+            # instead of rebuilding the world.  Cache entries provably
+            # untouched by the delta survive; everything else is evicted
+            # (see UpDownOrientation.apply_delta).
+            try:
+                self._route_computer = previous.with_view(
+                    view, epoch=str(tag), probes=self._routing_probes
+                )
+                self.stats.route_installs_incremental += 1
+                self._after_route_install()
+                return
+            except ValueError:
+                pass  # delta incompatible (e.g. disconnection): rebuild
         try:
             # A new epoch gets a new computer, which is what evicts every
             # cached path from the previous configuration (the route
@@ -351,8 +370,12 @@ class AN2Switch(Node):
                 epoch=str(tag),
                 probes=self._routing_probes,
             )
+            self.stats.route_installs_full += 1
         except ValueError:
             self._route_computer = None
+        self._after_route_install()
+
+    def _after_route_install(self) -> None:
         if self.config.enable_local_reroute and self._route_computer:
             # A detour that was illegal under the old up*/down* tree may
             # be legal under the new one: retry circuits still pointed at

@@ -53,6 +53,26 @@ class TestOrientation:
         with pytest.raises(ValueError):
             UpDownOrientation(topo.view(), host_id(0))
 
+    def test_disconnected_view_rejected_at_construction(self):
+        # Two separate line components in one view: switches unreachable
+        # from the root used to surface only later as a cryptic up_end
+        # ValueError on the first query that touched them.  Construction
+        # now names the problem immediately.
+        from repro.net.topology import view_from_edges
+
+        a = Topology.line(2).view()
+        b = Topology.line(2).view()
+        shifted = frozenset(
+            (
+                (switch_id(int(str(na)[1:]) + 10), pa),
+                (switch_id(int(str(nb)[1:]) + 10), pb),
+            )
+            for (na, pa), (nb, pb) in b.edges
+        )
+        view = view_from_edges(a.edges | shifted)
+        with pytest.raises(ValueError, match="not connected from root"):
+            UpDownOrientation(view, switch_id(0))
+
 
 class TestLegality:
     def test_up_then_down_is_legal(self):

@@ -1,0 +1,255 @@
+"""Incremental orientation repair must equal a from-scratch rebuild.
+
+The contract under test: for any :class:`TopologyDelta` applied to an
+existing :class:`UpDownOrientation`, ``apply_delta`` produces an
+orientation whose levels, structure digest, and every
+``shortest_legal_path`` answer are identical to rebuilding
+``UpDownOrientation(delta.apply_to(view), root)`` from nothing -- and it
+raises ``ValueError`` exactly when the rebuild would (disconnection).
+"""
+
+import random
+import warnings
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._types import switch_id
+from repro.core.routing.paths import RouteComputer
+from repro.core.routing.updown import UpDownOrientation
+from repro.net.topogen import fat_tree
+from repro.net.topology import Topology, TopologyDelta, TopologyError, TopologyView
+
+
+def switch_edges_of(view):
+    return sorted(
+        edge
+        for edge in view.edges
+        if edge[0][0].is_switch and edge[1][0].is_switch
+    )
+
+
+def assert_equivalent(base, delta, queries=40, seed=0):
+    """apply_delta(delta) == from-scratch rebuild, or both raise."""
+    try:
+        incremental = base.apply_delta(delta)
+    except ValueError:
+        with pytest.raises(ValueError):
+            UpDownOrientation(delta.apply_to(base.view), base.root)
+        return None
+    rebuilt = UpDownOrientation(delta.apply_to(base.view), base.root)
+    assert incremental.levels == rebuilt.levels
+    assert incremental.structure_digest() == rebuilt.structure_digest()
+    rng = random.Random(seed)
+    switches = sorted(incremental.levels)
+    for _ in range(queries):
+        a, b = rng.choice(switches), rng.choice(switches)
+        assert incremental.shortest_legal_path(
+            a, b
+        ) == rebuilt.shortest_legal_path(a, b)
+    return incremental
+
+
+def random_topology(seed, n_switches=14, extra_edges=8):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        return Topology.random_connected(
+            n_switches, extra_edges=extra_edges, rng=random.Random(seed)
+        )
+
+
+class TestTopologyDelta:
+    def test_between_and_apply_roundtrip(self):
+        old = Topology.ring(5).view()
+        new = Topology.line(5).view()
+        delta = TopologyDelta.between(old, new)
+        assert delta.apply_to(old) == new
+        assert delta.invert().apply_to(new) == old
+
+    def test_empty_delta(self):
+        view = Topology.ring(4).view()
+        delta = TopologyDelta.between(view, view)
+        assert delta.is_empty
+        assert len(delta) == 0
+        assert delta.apply_to(view) == view
+
+    def test_removing_absent_edge_rejected(self):
+        view = Topology.line(3).view()
+        absent = Topology.ring(5).view()
+        missing = (sorted(absent.edges - view.edges))[0]
+        with pytest.raises(TopologyError):
+            TopologyDelta(removed=frozenset([missing])).apply_to(view)
+
+    def test_adding_present_edge_rejected(self):
+        view = Topology.line(3).view()
+        present = sorted(view.edges)[0]
+        with pytest.raises(TopologyError):
+            TopologyDelta(added=frozenset([present])).apply_to(view)
+
+    def test_adding_to_occupied_port_rejected(self):
+        view = Topology.line(3).view()
+        # s0 port 0 is already cabled to s1; a second cable on the same
+        # (node, port) slot is physically impossible.
+        conflicting = ((switch_id(0), 0), (switch_id(2), 7))
+        with pytest.raises(TopologyError):
+            TopologyDelta(added=frozenset([conflicting])).apply_to(view)
+
+    def test_switch_endpoints(self):
+        view = Topology.line(3).view()
+        edge = sorted(view.edges)[0]
+        delta = TopologyDelta(removed=frozenset([edge]))
+        assert delta.switch_endpoints() == {switch_id(0), switch_id(1)}
+
+
+class TestIncrementalEqualsRebuild:
+    def test_single_edge_removal_on_fat_tree(self):
+        structured = fat_tree(4)
+        view = structured.view()
+        base = UpDownOrientation(view, structured.default_root())
+        for edge in switch_edges_of(view)[:8]:
+            assert_equivalent(
+                base, TopologyDelta(removed=frozenset([edge]))
+            )
+
+    def test_single_edge_addback_on_fat_tree(self):
+        structured = fat_tree(4)
+        view = structured.view()
+        root = structured.default_root()
+        for edge in switch_edges_of(view)[:6]:
+            smaller = TopologyView(view.edges - {edge})
+            base = UpDownOrientation(smaller, root)
+            assert_equivalent(base, TopologyDelta(added=frozenset([edge])))
+
+    def test_disconnecting_delta_raises_like_rebuild(self):
+        # Cutting a line in the middle strands the far half: both the
+        # incremental path and the rebuild must reject the new view.
+        view = Topology.line(6).view()
+        base = UpDownOrientation(view, switch_id(0))
+        middle = switch_edges_of(view)[2]
+        with pytest.raises(ValueError, match="not connected"):
+            base.apply_delta(TopologyDelta(removed=frozenset([middle])))
+
+    def test_delta_that_empties_the_view_raises(self):
+        view = Topology.line(2).view()
+        base = UpDownOrientation(view, switch_id(0))
+        delta = TopologyDelta(removed=view.edges)
+        with pytest.raises(ValueError):
+            base.apply_delta(delta)
+
+    def test_warm_cache_migration_is_query_neutral(self):
+        structured = fat_tree(4)
+        view = structured.view()
+        base = UpDownOrientation(view, structured.default_root())
+        switches = sorted(base.levels)
+        for a in switches:
+            for b in switches:
+                base.shortest_legal_path(a, b)
+        edge = switch_edges_of(view)[5]
+        assert_equivalent(
+            base, TopologyDelta(removed=frozenset([edge])), queries=120
+        )
+
+    def test_chained_deltas(self):
+        # Apply a sequence of deltas, each to the previous incremental
+        # result -- errors must not accumulate.
+        structured = fat_tree(4)
+        current = UpDownOrientation(
+            structured.view(), structured.default_root()
+        )
+        rng = random.Random(11)
+        for _ in range(6):
+            edges = switch_edges_of(current.view)
+            edge = rng.choice(edges)
+            result = assert_equivalent(
+                current, TopologyDelta(removed=frozenset([edge]))
+            )
+            if result is not None:
+                current = result
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_removed=st.integers(min_value=1, max_value=4),
+        pick=st.randoms(use_true_random=False),
+    )
+    def test_random_multi_edge_deltas(self, seed, n_removed, pick):
+        topo = random_topology(seed)
+        view = topo.view()
+        root = sorted(view.switches())[-1]
+        base = UpDownOrientation(view, root)
+        edges = switch_edges_of(view)
+        removed = frozenset(pick.sample(edges, min(n_removed, len(edges))))
+        assert_equivalent(base, TopologyDelta(removed=removed), queries=25)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_changed=st.integers(min_value=1, max_value=3),
+        pick=st.randoms(use_true_random=False),
+    )
+    def test_random_mixed_deltas(self, seed, n_changed, pick):
+        # Remove a few edges from the full view first, then test a mixed
+        # delta that adds some back while removing others.
+        topo = random_topology(seed, n_switches=12, extra_edges=10)
+        full = topo.view()
+        root = sorted(full.switches())[-1]
+        edges = switch_edges_of(full)
+        held_out = pick.sample(edges, min(n_changed, len(edges)))
+        start = TopologyView(full.edges - set(held_out))
+        try:
+            base = UpDownOrientation(start, root)
+        except ValueError:
+            return  # held-out edges disconnected the start view
+        remaining = switch_edges_of(start)
+        removed = frozenset(
+            pick.sample(remaining, min(n_changed, len(remaining)))
+        )
+        delta = TopologyDelta(added=frozenset(held_out), removed=removed)
+        assert_equivalent(base, delta, queries=25)
+
+
+class TestRouteComputerWithView:
+    def test_with_view_matches_fresh_computer(self):
+        structured = fat_tree(4, hosts_per_edge=1)
+        view = structured.view()
+        root = structured.default_root()
+        computer = RouteComputer(view, root)
+        edge = switch_edges_of(view)[3]
+        new_view = TopologyView(view.edges - {edge})
+        incremental = computer.with_view(new_view, epoch="e2")
+        fresh = RouteComputer(new_view, root, epoch="e2")
+        assert incremental.incremental and not fresh.incremental
+        assert (
+            incremental.orientation.structure_digest()
+            == fresh.orientation.structure_digest()
+        )
+        hosts = structured.topology.hosts()
+        for a, b in [(hosts[0], hosts[-1]), (hosts[2], hosts[5])]:
+            assert (
+                incremental.host_route(a, b).edges
+                == fresh.host_route(a, b).edges
+            )
+
+    def test_with_view_patches_host_attachments(self):
+        structured = fat_tree(4, hosts_per_edge=1)
+        view = structured.view()
+        root = structured.default_root()
+        computer = RouteComputer(view, root)
+        host = structured.topology.hosts()[0]
+        (host_edge,) = [
+            edge
+            for edge in view.edges
+            if host in (edge[0][0], edge[1][0])
+        ]
+        new_view = TopologyView(view.edges - {host_edge})
+        incremental = computer.with_view(new_view)
+        fresh = RouteComputer(new_view, root)
+        assert incremental._host_ports == fresh._host_ports
+
+    def test_with_view_raises_on_disconnection(self):
+        view = Topology.line(4).view()
+        computer = RouteComputer(view, switch_id(0))
+        cut = switch_edges_of(view)[1]
+        with pytest.raises(ValueError):
+            computer.with_view(TopologyView(view.edges - {cut}))

@@ -81,6 +81,61 @@ class TestConvergencePredicates:
         assert len(net.expected_view().edges) == before
 
 
+class TestIncrementalEpochInstall:
+    def test_same_root_epoch_installs_incrementally(self):
+        topo = Topology.grid(2, 3)
+        topo.add_host(0)
+        topo.add_host(1)
+        topo.connect("h0", "s0", port_a=0)
+        topo.connect("h1", "s5", port_a=0)
+        net = Network(topo, seed=42, switch_config=fast_switch_config())
+        net.start()
+        net.run_until_converged(timeout_us=500_000)
+        # Re-trigger from the current epoch's initiator: the successor
+        # tag keeps the same initiator, so the up*/down* root is
+        # unchanged and every switch repairs its orientation over the
+        # (here empty) delta instead of rebuilding from scratch.  Which
+        # switch wins a *failure-triggered* epoch race depends on
+        # detection timing, so the deterministic same-root case is an
+        # explicit re-trigger.
+        initiator = net.reconfig_root()
+        net.switch(str(initiator)).reconfig.trigger()
+        net.run(200_000)
+        incremental = sum(
+            s.stats.route_installs_incremental
+            for s in net.switches.values()
+        )
+        assert incremental == len(net.switches)
+        assert net.reconfig_root() == initiator
+        # Routing still works over the repaired orientation.
+        circuit = net.setup_circuit("h0", "h1")
+        assert circuit is not None
+
+    def test_different_root_epoch_falls_back_to_full_rebuild(self):
+        net = line_with_hosts(3)
+        net.start()
+        net.run_until_converged(timeout_us=500_000)
+        full_before = sum(
+            s.stats.route_installs_full for s in net.switches.values()
+        )
+        # Trigger from a switch that is NOT the current initiator: the
+        # root moves, the delta path is inapplicable, and every install
+        # must fall back to a from-scratch rebuild.
+        initiator = net.reconfig_root()
+        other = [
+            s
+            for s in net.switches.values()
+            if s.node_id != initiator
+        ][0]
+        other.reconfig.trigger()
+        net.run(200_000)
+        assert net.reconfig_root() == other.node_id
+        full_after = sum(
+            s.stats.route_installs_full for s in net.switches.values()
+        )
+        assert full_after > full_before
+
+
 class TestFaultInjection:
     def test_crash_and_restore_switch(self):
         net = line_with_hosts(3)

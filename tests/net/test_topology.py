@@ -108,6 +108,17 @@ class TestGenerators:
         topo = Topology.ring(5)
         assert len(topo.switch_edges()) == 5
 
+    @pytest.mark.parametrize("n", [0, 1, 2])
+    def test_ring_too_small_rejected(self, n):
+        # ring(2) used to silently double-cable the same switch pair
+        # (a two-edge "ring"); anything below 3 is now an error.
+        with pytest.raises(TopologyError, match="at least 3"):
+            Topology.ring(n)
+
+    def test_ring_of_three_is_smallest(self):
+        topo = Topology.ring(3)
+        assert len(topo.switch_edges()) == 3
+
     def test_star(self):
         topo = Topology.star(6)
         assert len(topo.switches()) == 7
@@ -125,6 +136,26 @@ class TestGenerators:
             )
             assert topo.is_switch_connected()
             assert len(topo.switch_edges()) >= 11
+
+    def test_random_connected_records_full_redundancy(self):
+        topo = Topology.random_connected(
+            12, extra_edges=4, rng=random.Random(3)
+        )
+        assert topo.extra_edges_requested == 4
+        assert topo.extra_edges_added == 4
+
+    def test_random_connected_shortfall_recorded_and_warned(self):
+        # Two switches can hold at most one cable between them: the
+        # spanning tree uses it, so every redundant cable request must
+        # fall short -- and the caller must be able to see that instead
+        # of silently benchmarking a thinner fabric than requested.
+        with pytest.warns(RuntimeWarning, match="redundant cables"):
+            topo = Topology.random_connected(
+                2, extra_edges=5, rng=random.Random(0)
+            )
+        assert topo.extra_edges_requested == 5
+        assert topo.extra_edges_added == 0
+        assert len(topo.switch_edges()) == 1
 
     def test_src_lan_hosts_dual_homed(self):
         topo = Topology.src_lan(n_switches=6, n_hosts=8, rng=random.Random(1))
