@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-speed speed-smoke topo-smoke sweep examples all clean
+.PHONY: install test bench bench-speed speed-smoke solutions-smoke topo-smoke sweep examples all clean
 
 install:
 	pip install -e .
@@ -23,6 +23,14 @@ bench-speed:
 # tolerance, missing baseline is an error.
 speed-smoke:
 	$(PYTHON) tools/run_speed_bench.py --compare BENCH_speed.json --quick --tolerance 60 --repeats 2
+
+# Loss-recovery solutions gate (EXPERIMENTS A6): the canned
+# corruption-burst scenario across all four solutions, every recovery
+# invariant checked, plus the acceptance comparison (link_retx must use
+# strictly fewer end-to-end retransmissions than e2e_arq on the same
+# fault plan).  Exit non-zero on any failure.
+solutions-smoke:
+	$(PYTHON) tools/run_solutions.py corruption_burst --gate
 
 # Topology-scale gate: structured fabric generation, one reconfiguration
 # epoch, and incremental-vs-rebuild digest equality (exit non-zero on

@@ -411,7 +411,19 @@ class _SinkNode(Node):
         self.received.append(cell.payload)
 
 
-def _link_script(seed: int, n_bursts: int) -> List[Tuple[float, str, Any]]:
+#: solution-shaped fault profiles for the link differential.  "plain"
+#: is the original script; the others reproduce the *deterministic* op
+#: shapes of the loss-recovery solutions so batching is exercised while
+#: recovery machinery flips link state mid-train.  (The closed-loop
+#: solutions themselves react at delivery times, which batching is
+#: allowed to shift -- so the oracle scripts their actions instead of
+#: letting them observe.)
+LINK_PROFILES = ("plain", "disable_and_repair", "link_retx")
+
+
+def _link_script(
+    seed: int, n_bursts: int, profile: str = "plain"
+) -> List[Tuple[float, str, Any]]:
     """A deterministic (time, op, arg) fault-and-traffic script.
 
     Bursts are multi-cell and same-instant -- the shape that actually
@@ -419,21 +431,49 @@ def _link_script(seed: int, n_bursts: int) -> List[Tuple[float, str, Any]]:
     batching must not change: a mid-train cut, a restore, and
     ``drop_filter`` windows that open and close while cells are on the
     wire (the credit-loss-burst shape from the fault scenarios).
+
+    Profiles:
+
+    - ``plain`` -- the original mix (cuts and credit filters).
+    - ``disable_and_repair`` -- adds administrative fail/restore pairs
+      and full-corruption windows (``error_rate`` stepped to 1.0 and
+      back): 1.0 is the only rate the differential may use, because
+      every RNG draw then corrupts regardless of draw order, so batched
+      and unbatched schedules agree even though they interleave the
+      per-direction draws differently.
+    - ``link_retx`` -- wide burst gaps and once-only per-payload
+      corruption targets (``corrupt`` entries, collected by the driver
+      into a payload-keyed filter): each targeted cell is corrupted on
+      exactly its first delivery attempt wherever that falls in either
+      schedule, so the guard's NACK/resend/resequence cycle completes
+      identically.  No cuts: a resend over a dead link is a *timing*
+      race between schedules, not a batching property.
     """
-    rng = _seeded_rng("link-script", seed)
+    label = "link-script" if profile == "plain" else f"link-script/{profile}"
+    rng = _seeded_rng(label, seed)
     script: List[Tuple[float, str, Any]] = []
     t = 1.0
     payload = 0
     for _ in range(n_bursts):
-        t += rng.uniform(3.0, 30.0)
+        if profile == "link_retx":
+            # Wide gaps: every NACK/resend cycle (~one link round trip)
+            # finishes before the next burst can crowd the wire, so the
+            # serialization horizon never diverges between schedules.
+            t += rng.uniform(45.0, 80.0)
+        else:
+            t += rng.uniform(3.0, 30.0)
         direction = 1 if rng.random() < 0.3 else 0
         size = rng.randint(1, 12)
         cells = []
         for _ in range(size):
             kind = CellKind.CREDIT if rng.random() < 0.25 else CellKind.DATA
             cells.append((kind, payload))
+            if profile == "link_retx" and rng.random() < 0.3:
+                script.append((0.0, "corrupt", payload))
             payload += 1
         script.append((t, "burst", (direction, cells)))
+        if profile == "link_retx":
+            continue
         roll = rng.random()
         if roll < 0.15:
             # Cut while the burst is still serializing/propagating, then
@@ -444,15 +484,27 @@ def _link_script(seed: int, n_bursts: int) -> List[Tuple[float, str, Any]]:
             # Credit-loss window opening mid-flight.
             script.append((t + rng.uniform(0.1, 8.0), "filter_on", None))
             script.append((t + rng.uniform(9.0, 20.0), "filter_off", None))
+        elif profile == "disable_and_repair" and roll < 0.45:
+            # The administrative repair cycle: deliberate fail, held
+            # down, restore -- opening and closing around in-flight
+            # cells exactly like DisableAndRepair's repair window.
+            script.append((t + rng.uniform(0.1, 8.0), "fail", None))
+            script.append((t + rng.uniform(12.0, 25.0), "restore", None))
+        elif profile == "disable_and_repair" and roll < 0.60:
+            # Full-corruption window (the noisy-link phase that trips
+            # the repair threshold).
+            script.append((t + rng.uniform(0.1, 8.0), "error_full_on", None))
+            script.append((t + rng.uniform(9.0, 20.0), "error_off", None))
     script.sort(key=lambda entry: (entry[0], entry[1]))
     return script
 
 
 def _drive_link(
-    seed: int, batch: bool, n_bursts: int
-) -> Tuple[List[Any], List[Any], Tuple[int, int, int, int]]:
+    seed: int, batch: bool, n_bursts: int, profile: str = "plain"
+) -> Tuple[List[Any], List[Any], Tuple[int, ...]]:
     """Run the scripted scenario on one link; returns (received at b,
-    received at a, (delivered, dropped, data_dropped, corrupted))."""
+    received at a, (delivered, dropped, data_dropped, corrupted [, guard
+    counters for the link_retx profile]))."""
     sim = Simulator()
     node_a = _SinkNode(sim, parse_node_id("h0"))
     node_b = _SinkNode(sim, parse_node_id("h1"))
@@ -465,6 +517,25 @@ def _drive_link(
         batch_trains=batch,
         max_train_cells=8,
     )
+    script = _link_script(seed, n_bursts, profile)
+    guard = None
+    if profile == "link_retx":
+        from repro.solutions.link_retx import LinkRetxGuard
+
+        guard = LinkRetxGuard(link)
+        # Once-only per-payload corruption: schedule-invariant because
+        # the verdict is a pure function of the (unique) payload and
+        # whether its first attempt already happened.
+        targets = {arg for _, op, arg in script if op == "corrupt"}
+        corrupted_once: set = set()
+
+        def corrupt_filter(cell: Cell) -> bool:
+            if cell.payload in targets and cell.payload not in corrupted_once:
+                corrupted_once.add(cell.payload)
+                return True
+            return False
+
+        link.drop_filter = corrupt_filter
 
     def burst(direction: int, cells) -> None:
         for kind, payload in cells:
@@ -478,24 +549,36 @@ def _drive_link(
             link, "drop_filter", lambda cell: cell.kind is CellKind.CREDIT
         ),
         "filter_off": lambda _arg: setattr(link, "drop_filter", None),
+        "error_full_on": lambda _arg: link.set_error_rate(1.0),
+        "error_off": lambda _arg: link.set_error_rate(0.0),
     }
-    for time, op, arg in _link_script(seed, n_bursts):
+    for time, op, arg in script:
+        if op == "corrupt":
+            continue  # collected above, not a scheduled event
         if op == "burst":
             sim.schedule_at(time, burst, *arg)
         else:
             sim.schedule_at(time, ops[op], arg)
     sim.run()
-    counters = (
+    counters: Tuple[int, ...] = (
         link.cells_delivered,
         link.cells_dropped,
         link.data_cells_dropped,
         link.cells_corrupted,
     )
+    if guard is not None:
+        counters = counters + (
+            guard.nacks,
+            guard.resends,
+            guard.recovered,
+            guard.abandoned,
+            guard.duplicates,
+        )
     return node_b.received, node_a.received, counters
 
 
 def compare_link_delivery(
-    seed: int, n_bursts: int = 40
+    seed: int, n_bursts: int = 40, profile: str = "plain"
 ) -> Optional[Divergence]:
     """Cell-train batching differential: batched vs unbatched link.
 
@@ -505,13 +588,28 @@ def compare_link_delivery(
     identical delivered/dropped/corrupted counters.  Batching is allowed
     to change *when* a cell surfaces (by a bounded train span) and how
     many kernel events that takes -- never *which* cells arrive or are
-    lost.  ``error_rate`` stays zero here: its RNG draw order across
-    concurrently-batched opposite directions is not pinned by the
-    batching contract.
+    lost.  Arbitrary ``error_rate`` stays out of every profile: its RNG
+    draw order across concurrently-batched opposite directions is not
+    pinned by the batching contract (``disable_and_repair`` steps the
+    rate to exactly 1.0, where the verdict is draw-order independent).
+
+    The ``link_retx`` profile additionally attaches a live
+    :class:`~repro.solutions.link_retx.LinkRetxGuard` and requires its
+    recovery counters (nacks, resends, recovered, abandoned,
+    duplicates) to agree as well: the retransmission state machine must
+    settle every targeted corruption identically under both schedules.
     """
-    reference = _drive_link(seed, batch=False, n_bursts=n_bursts)
-    candidate = _drive_link(seed, batch=True, n_bursts=n_bursts)
+    if profile not in LINK_PROFILES:
+        raise ValueError(
+            f"unknown link profile {profile!r}; choose from {LINK_PROFILES}"
+        )
+    reference = _drive_link(seed, batch=False, n_bursts=n_bursts, profile=profile)
+    candidate = _drive_link(seed, batch=True, n_bursts=n_bursts, profile=profile)
     cases = ("delivered@b", "delivered@a", "counters")
+    pair = (
+        "train-batching" if profile == "plain"
+        else f"train-batching:{profile}"
+    )
     for case, ref, cand in zip(cases, reference, candidate):
         if ref != cand:
             port = -1
@@ -519,7 +617,7 @@ def compare_link_delivery(
                 port = _first_divergent_index(list(ref), list(cand))
             return Divergence(
                 kind="link",
-                pair="train-batching",
+                pair=pair,
                 seed=seed,
                 size=n_bursts,
                 case=case,
@@ -539,21 +637,28 @@ def _first_divergent_index(reference: List[Any], candidate: List[Any]) -> int:
 
 
 def link_sweep(
-    seeds: Sequence[int], n_bursts: int = 40
+    seeds: Sequence[int],
+    n_bursts: int = 40,
+    profiles: Sequence[str] = LINK_PROFILES,
 ) -> Tuple[List[Divergence], List[Dict[str, Any]]]:
-    """Train-batching differential over a grid of fault scripts."""
+    """Train-batching differential over a grid of fault scripts, one
+    pass per solution-shaped profile."""
     divergences: List[Divergence] = []
     records: List[Dict[str, Any]] = []
-    for seed in seeds:
-        divergence = compare_link_delivery(seed, n_bursts=n_bursts)
-        if divergence is not None:
-            divergences.append(divergence)
-        records.append(
-            {
-                "kind": "link",
-                "seed": seed,
-                "n_bursts": n_bursts,
-                "agreed": divergence is None,
-            }
-        )
+    for profile in profiles:
+        for seed in seeds:
+            divergence = compare_link_delivery(
+                seed, n_bursts=n_bursts, profile=profile
+            )
+            if divergence is not None:
+                divergences.append(divergence)
+            records.append(
+                {
+                    "kind": "link",
+                    "profile": profile,
+                    "seed": seed,
+                    "n_bursts": n_bursts,
+                    "agreed": divergence is None,
+                }
+            )
     return divergences, records

@@ -19,7 +19,11 @@ Cells are only transmitted for circuits with non-zero credit balances."
 
 from repro.core.flowcontrol.credits import CreditError, DownstreamCredits, UpstreamCredits
 from repro.core.flowcontrol.deadlock import WaitForGraph
-from repro.core.flowcontrol.sizing import credits_for_link, round_trip_cells
+from repro.core.flowcontrol.sizing import (
+    credits_for_link,
+    retx_buffer_for_link,
+    round_trip_cells,
+)
 
 __all__ = [
     "CreditError",
@@ -27,5 +31,6 @@ __all__ = [
     "UpstreamCredits",
     "WaitForGraph",
     "credits_for_link",
+    "retx_buffer_for_link",
     "round_trip_cells",
 ]

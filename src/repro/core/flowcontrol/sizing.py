@@ -67,6 +67,27 @@ def credits_for_link(
     return round_trip_cells(length_km, bps, per_hop_processing_us) + slack_cells
 
 
+def retx_buffer_for_link(
+    length_km: float,
+    bps: float = FAST_LINK_BPS,
+    per_hop_processing_us: float = 0.0,
+    slack_cells: int = 8,
+) -> int:
+    """Per-direction link-local retransmission buffer, in cells.
+
+    The link_retx solution keeps a sender-side copy of every cell until
+    the receiving port has either delivered it or NACKed it, so a copy
+    must survive one link round trip (the cell's propagation plus the
+    NACK's) at full rate -- the same round-trip arithmetic that sizes
+    credits -- plus slack for the resend turnaround itself.  Overflow
+    falls back to loss: the oldest unacknowledged copy is evicted and a
+    later NACK for it is answered by declaring the cell lost.
+    """
+    if slack_cells < 0:
+        raise ValueError(f"negative slack {slack_cells}")
+    return round_trip_cells(length_km, bps, per_hop_processing_us) + slack_cells
+
+
 def memory_for_link(
     n_circuits: int = 1000,
     length_km: float = 10.0,

@@ -38,6 +38,7 @@ from repro.faults.runner import (
 from repro.faults.scenarios import (
     CANNED,
     Scenario,
+    build_corruption_burst,
     build_credit_loss,
     build_flapping_link,
     build_pull_the_plug,
@@ -63,6 +64,7 @@ __all__ = [
     "ScenarioRunner",
     "SwitchCrash",
     "TrafficLoad",
+    "build_corruption_burst",
     "build_credit_loss",
     "build_flapping_link",
     "build_pull_the_plug",

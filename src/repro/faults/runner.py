@@ -30,7 +30,18 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.solutions.base import Solution
 
 from repro.faults.invariants import InvariantResult, check_all
 from repro.faults.plan import (
@@ -87,6 +98,10 @@ class ScenarioResult:
     #: path of the flight-recorder dump written because an invariant
     #: failed (``None`` when everything passed or no ``flight_dir`` set).
     flight_dump: Optional[str] = None
+    #: loss-recovery solution the scenario ran under (``None`` = bare).
+    solution_name: Optional[str] = None
+    #: the solution's own numbers for the comparison table.
+    solution_metrics: Dict[str, float] = field(default_factory=dict)
 
     @property
     def passed(self) -> bool:
@@ -117,6 +132,15 @@ class ScenarioResult:
         lines.append(
             f"traffic: {total_sent} packets sent, {self.delivered} delivered"
         )
+        if self.solution_name is not None:
+            parts = ", ".join(
+                f"{key}={value:g}"
+                for key, value in sorted(self.solution_metrics.items())
+            )
+            lines.append(
+                f"solution: {self.solution_name}"
+                + (f" ({parts})" if parts else "")
+            )
         lines.append("invariants:")
         lines.extend(f"  {result}" for result in self.invariants)
         verdict = "ALL GREEN" if self.passed else "VIOLATIONS FOUND"
@@ -139,10 +163,17 @@ class ScenarioRunner:
         sample_interval_us: float = 10_000.0,
         conservation_exact: Optional[bool] = None,
         flight_dir: Optional[str] = None,
+        solution: Optional["Solution"] = None,
     ) -> None:
         self.net = net
         self.plan = plan
         self.loads = tuple(loads)
+        #: loss-recovery solution driving this run (``None`` = bare run;
+        #: kept distinct from DoNothing only in labeling -- the two are
+        #: digest-identical by contract).
+        self.solution = solution
+        if solution is not None:
+            solution.attach(net)
         self.settle_us = settle_us
         self.convergence_timeout_us = convergence_timeout_us
         self.sample_interval_us = sample_interval_us
@@ -401,12 +432,24 @@ class ScenarioRunner:
             "scenario", events=len(self.plan), loads=len(self.loads)
         )
         vcs = self._open_circuits()  # advances simulated time
+        if self.solution is not None:
+            self.solution.on_circuits_open(self)  # may advance time too
         t0 = net.now
-        self._schedule_traffic(t0, vcs)
+        handled = (
+            self.solution is not None
+            and self.solution.schedule_traffic(self, t0, vcs)
+        )
+        if not handled:
+            self._schedule_traffic(t0, vcs)
         self._schedule_plan(t0)
         horizon = t0 + self.plan.end_us + self.settle_us
         self._schedule_samples(t0, horizon)
         net.run(horizon - net.now)
+        if self.solution is not None:
+            # Before the settle phase: a solution holding links down for
+            # repair must release them so full reconvergence (and the
+            # convergence invariant) stays a fair demand.
+            self.solution.finish(self)
 
         settled_at: Optional[float] = None
         try:
@@ -428,6 +471,11 @@ class ScenarioRunner:
             self.sent,
             settled_at,
             conservation_exact=self.conservation_exact,
+            extra_invariants=(
+                self.solution.invariants(net)
+                if self.solution is not None
+                else None
+            ),
         )
         if self.sampled_violations:
             invariants.append(
@@ -470,6 +518,12 @@ class ScenarioRunner:
             faults_applied=self._events_applied.value,
             sampled_violations=self.sampled_violations,
             flight_dump=flight_dump,
+            solution_name=(
+                self.solution.name if self.solution is not None else None
+            ),
+            solution_metrics=(
+                self.solution.metrics() if self.solution is not None else {}
+            ),
         )
 
 

@@ -164,6 +164,40 @@ def build_credit_loss(seed: int = 5):
     return net, plan, loads
 
 
+def build_corruption_burst(seed: int = 11):
+    # Wider credit windows than the default round-trip sizing: every
+    # corrupted data cell is counted in flight forever by its hop's
+    # credit state (the echo-based resync can only recover lost CREDIT
+    # cells, not lost data), so the burst permanently shrinks the
+    # window by ~1 credit per corruption.  With the default allocation
+    # of 5 the VC wedges outright mid-scenario; 32 keeps it degraded
+    # but alive, which is the regime the solutions are compared in.
+    net = _grid_with_hosts(seed, credit_allocation=32)
+    # Two trunks of the h0->h1 data route (h0-s0-s3-s4-s5-h1 on this
+    # grid) turn noisy for tens of ms: a few percent of delivered cells
+    # silently corrupted.  This is THE discriminating scenario for the
+    # loss-recovery solutions -- link_retx repairs each corruption in a
+    # link RTT, e2e_arq pays an end-to-end timeout plus a go-back-N
+    # window, and do_nothing just loses the packets.
+    plan = FaultPlan.of(
+        ErrorRateStep(
+            at_us=30_000.0, a="s0", b="s3",
+            rate=0.02, until_us=90_000.0,
+        ),
+        ErrorRateStep(
+            at_us=40_000.0, a="s3", b="s4",
+            rate=0.015, until_us=100_000.0,
+        ),
+    )
+    loads = (
+        TrafficLoad(
+            source="h0", destination="h1",
+            packet_size=480, interval_us=3_000.0, count=80,
+        ),
+    )
+    return net, plan, loads
+
+
 CANNED: Dict[str, Scenario] = {
     "pull_the_plug": Scenario(
         "pull_the_plug",
@@ -182,6 +216,12 @@ CANNED: Dict[str, Scenario] = {
         "section 5: credit resynchronization restores windows exactly "
         "after lost flow-control cells",
         build_credit_loss,
+    ),
+    "corruption_burst": Scenario(
+        "corruption_burst",
+        "section 5 ablation: an intermittently corrupting trunk, the "
+        "discriminating workload for the loss-recovery solutions",
+        build_corruption_burst,
     ),
 }
 

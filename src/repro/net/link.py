@@ -110,6 +110,29 @@ class Link:
         #: observers called with (link, new_state) on every state change;
         #: the link monitors on both endpoints subscribe here.
         self.state_observers: List[Callable[["Link", LinkState], None]] = []
+        # --- loss-recovery solution hooks (repro.solutions) -----------
+        # All three default to unset and then cost nothing: the hot path
+        # is byte-identical and schedules the same kernel events, which
+        # is what lets the do_nothing solution stay digest-identical to
+        # a hook-free run.
+        #: observers called as (link, direction, cell) when a cell
+        #: actually starts serializing -- NOT when it is dropped at a
+        #: dead transmitter.  The link_retx guard numbers cells here.
+        self.tx_observers: List[Callable[["Link", int, Cell], None]] = []
+        #: adjudication hook: called as (link, direction, cell, reason)
+        #: whenever a cell is lost at delivery time, with reason one of
+        #: "dead", "filtered", "error".  Observational -- the drop and
+        #: its counters stand -- but a solution may schedule recovery
+        #: work (a NACK/resend, an administrative repair) from here.
+        self.adjudicator: Optional[
+            Callable[["Link", int, Cell, str], None]
+        ] = None
+        #: delivery interposer: called as (link, direction, cell) after
+        #: the delivery counters and trace records.  Returning True
+        #: claims the cell -- the hook delivers it to the target port
+        #: itself (possibly later, to restore FIFO order around a
+        #: link-local retransmission); False lets the link deliver.
+        self.deliver_hook: Optional[Callable[["Link", int, Cell], bool]] = None
         port_a.attach(self, 0)
         port_b.attach(self, 1)
 
@@ -195,6 +218,9 @@ class Link:
         departure = start + serialization
         self._next_free[direction] = departure
         arrival = departure + self.latency_us
+        if self.tx_observers:
+            for observer in list(self.tx_observers):
+                observer(self, direction, cell)
         if self.batch_trains:
             self._pending_trains[direction].append((arrival, cell))
             if self._train_events[direction] is None:
@@ -251,6 +277,12 @@ class Link:
         """Component name for this link's journey/flight records."""
         return f"link.{self.port_a.label}-{self.port_b.label}"
 
+    def target_port(self, direction: int) -> "Port":
+        """The receiving port for ``direction`` (0: port_b, 1: port_a)."""
+        if direction not in (0, 1):
+            raise ValueError(f"bad direction {direction}")
+        return self.port_b if direction == 0 else self.port_a
+
     def _deliver(self, direction: int, cell: Cell) -> None:
         ctx = cell.trace_ctx
         if not self.working:
@@ -262,6 +294,8 @@ class Link:
                     self.sim.now, self.journey_label(), "wire.drop",
                     reason="dead",
                 )
+            if self.adjudicator is not None:
+                self.adjudicator(self, direction, cell, "dead")
             return
         if self.drop_filter is not None and self.drop_filter(cell):
             self.cells_corrupted += 1
@@ -270,6 +304,8 @@ class Link:
                     self.sim.now, self.journey_label(), "wire.drop",
                     reason="filtered",
                 )
+            if self.adjudicator is not None:
+                self.adjudicator(self, direction, cell, "filtered")
             return
         if self.error_rate > 0 and self._rng.random() < self.error_rate:
             self.cells_corrupted += 1
@@ -278,6 +314,8 @@ class Link:
                     self.sim.now, self.journey_label(), "wire.drop",
                     reason="error",
                 )
+            if self.adjudicator is not None:
+                self.adjudicator(self, direction, cell, "error")
             return
         self.cells_delivered += 1
         if ctx is not None:
@@ -285,8 +323,11 @@ class Link:
                 self.sim.now, self.journey_label(), "wire.arrive",
                 direction=direction,
             )
-        target = self.port_b if direction == 0 else self.port_a
-        target.deliver(cell)
+        if self.deliver_hook is not None and self.deliver_hook(
+            self, direction, cell
+        ):
+            return
+        self.target_port(direction).deliver(cell)
 
     # ------------------------------------------------------------------
     # fault injection

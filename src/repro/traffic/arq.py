@@ -57,6 +57,21 @@ class ArqTransfer:
         packet_bytes: size of each data packet.
         window: go-back-N window in packets.
         timeout_us: retransmission timeout.
+        max_retries: consecutive timeout rounds tolerated without any
+            ack progress before the transfer enters the terminal
+            ``failed`` state (``None`` = retry forever, the historical
+            behavior -- which spins the kernel when the receiver is
+            unreachable).
+        backoff: multiplier applied to the retransmission timeout after
+            each fruitless round (1.0 = fixed interval); reset to
+            ``timeout_us`` whenever an ack advances the window.
+        pacing_us: minimum spacing between FIRST transmissions of
+            successive sequences (0 = send as fast as the window
+            allows).  Scenario comparisons set this to the raw load's
+            send interval so ARQ carries the same offered load over the
+            same span instead of blasting the transfer before the fault
+            window opens.  Timeout retransmissions are not paced:
+            go-back-N resends its whole outstanding window.
     """
 
     def __init__(
@@ -70,11 +85,20 @@ class ArqTransfer:
         packet_bytes: int = 960,
         window: int = 8,
         timeout_us: float = 2_000.0,
+        max_retries: Optional[int] = None,
+        backoff: float = 1.0,
+        pacing_us: float = 0.0,
     ) -> None:
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
         if n_packets < 1:
             raise ValueError(f"n_packets must be >= 1, got {n_packets}")
+        if max_retries is not None and max_retries < 1:
+            raise ValueError(f"max_retries must be >= 1, got {max_retries}")
+        if backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1.0, got {backoff}")
+        if pacing_us < 0.0:
+            raise ValueError(f"pacing_us must be >= 0, got {pacing_us}")
         self.sim = sim
         self.sender = sender
         self.receiver = receiver
@@ -84,12 +108,22 @@ class ArqTransfer:
         self.packet_bytes = max(packet_bytes, _HEADER.size)
         self.window = window
         self.timeout_us = timeout_us
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.pacing_us = pacing_us
         # Sender state.
+        self._next_send_at = 0.0
+        self._pace_event: Optional[Event] = None
         self.base = 0
         self.next_seq = 0
         self.packets_transmitted = 0  # includes retransmissions
         self.retransmissions = 0
         self.timeouts = 0
+        #: terminal state: ``max_retries`` consecutive timeout rounds
+        #: passed without ack progress; no further events are scheduled.
+        self.failed = False
+        self._consecutive_timeouts = 0
+        self._current_timeout_us = timeout_us
         self._timer: Optional[Event] = None
         # Receiver state.
         self.expected = 0
@@ -125,9 +159,23 @@ class ArqTransfer:
             self.next_seq < self.base + self.window
             and self.next_seq < self.n_packets
         ):
+            if self.pacing_us > 0.0:
+                now = self.sim.now
+                if now < self._next_send_at:
+                    if self._pace_event is None:
+                        self._pace_event = self.sim.schedule(
+                            self._next_send_at - now, self._pace_fire
+                        )
+                    break
+                self._next_send_at = now + self.pacing_us
             self._transmit(self.next_seq)
             self.next_seq += 1
         self._arm_timer()
+
+    def _pace_fire(self) -> None:
+        self._pace_event = None
+        if not self.failed:
+            self._fill_window()
 
     def _transmit(self, seq: int) -> None:
         self.packets_transmitted += 1
@@ -142,8 +190,13 @@ class ArqTransfer:
 
     def _arm_timer(self) -> None:
         self._cancel_timer()
-        if self.base < self.n_packets:
-            self._timer = self.sim.schedule(self.timeout_us, self._timeout)
+        # Only while packets are outstanding: a paced sender between
+        # sends has nothing to retransmit, and counting timeouts there
+        # would burn the retry budget on idle gaps.
+        if self.base < self.next_seq and not self.failed:
+            self._timer = self.sim.schedule(
+                self._current_timeout_us, self._timeout
+            )
 
     def _cancel_timer(self) -> None:
         if self._timer is not None:
@@ -152,9 +205,22 @@ class ArqTransfer:
 
     def _timeout(self) -> None:
         self._timer = None
-        if self.base >= self.n_packets:
+        if self.base >= self.n_packets or self.failed:
+            return
+        if (
+            self.max_retries is not None
+            and self._consecutive_timeouts >= self.max_retries
+        ):
+            # Terminal: the receiver is unreachable; stop rather than
+            # retransmit the window forever at a fixed interval.
+            self.failed = True
+            if self._pace_event is not None:
+                self._pace_event.cancel()
+                self._pace_event = None
             return
         self.timeouts += 1
+        self._consecutive_timeouts += 1
+        self._current_timeout_us *= self.backoff
         # Go-back-N: retransmit the whole outstanding window.
         for seq in range(self.base, self.next_seq):
             self.retransmissions += 1
@@ -167,10 +233,17 @@ class ArqTransfer:
         if parsed is None:
             return
         mark, ack_seq = parsed
-        if mark is not _ACK_MARK and mark != _ACK_MARK:
+        # The parsed mark is a fresh int well outside CPython's small-int
+        # cache, so an identity comparison against _ACK_MARK would always
+        # be False; equality is the whole check.
+        if mark != _ACK_MARK:
+            return
+        if self.failed:
             return
         if ack_seq + 1 > self.base:
             self.base = ack_seq + 1
+            self._consecutive_timeouts = 0
+            self._current_timeout_us = self.timeout_us
             self._fill_window()
             if self.base >= self.n_packets:
                 self._cancel_timer()

@@ -11,7 +11,11 @@ kernel events that takes may differ.
 import pytest
 
 from repro._types import parse_node_id
-from repro.conform.oracle import compare_link_delivery, link_sweep
+from repro.conform.oracle import (
+    LINK_PROFILES,
+    compare_link_delivery,
+    link_sweep,
+)
 from repro.net.cell import Cell, CellKind
 from repro.net.link import Link
 from repro.net.network import Network
@@ -190,10 +194,26 @@ class TestOracle:
         divergence = compare_link_delivery(seed)
         assert divergence is None, str(divergence)
 
+    @pytest.mark.parametrize("profile", LINK_PROFILES)
+    @pytest.mark.parametrize("seed", range(5))
+    def test_solution_profiles_agree(self, seed, profile):
+        """The solution-shaped fault scripts (admin fail/restore cycles,
+        guarded once-only corruption with link-local resends) must also
+        be batching-invariant, cell for cell and counter for counter."""
+        divergence = compare_link_delivery(seed, profile=profile)
+        assert divergence is None, str(divergence)
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError):
+            compare_link_delivery(0, profile="bogus")
+
     def test_sweep_records(self):
         divergences, records = link_sweep(range(3), n_bursts=20)
         assert not divergences
         assert all(record["agreed"] for record in records)
+        # One record per (seed, profile); every profile is swept.
+        assert len(records) == 3 * len(LINK_PROFILES)
+        assert {r["profile"] for r in records} == set(LINK_PROFILES)
 
 
 class TestWholeNetwork:

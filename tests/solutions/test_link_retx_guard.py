@@ -1,0 +1,154 @@
+"""Unit tests for the link-local retransmission guard on a bare link."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._types import parse_node_id
+from repro.net.cell import Cell
+from repro.net.link import Link
+from repro.net.node import Node
+from repro.sim.kernel import Simulator
+from repro.solutions.link_retx import LinkRetxGuard
+
+
+class _Sink(Node):
+    def __init__(self, sim, name):
+        super().__init__(sim, parse_node_id(name), n_ports=1)
+        self.received = []
+
+    def on_cell(self, port, cell):
+        self.received.append(cell.payload)
+
+
+def make_link(sim, **kwargs):
+    a = _Sink(sim, "h0")
+    b = _Sink(sim, "h1")
+    link = Link(sim, a.port(0), b.port(0), length_km=2.0, **kwargs)
+    return a, b, link
+
+
+def send(link, payloads, direction=0):
+    for payload in payloads:
+        link.transmit(direction, Cell(vc=0, payload=payload))
+
+
+class TestRecovery:
+    def test_corrupted_cell_recovered_in_order(self):
+        """One corrupted cell mid-burst: the guard NACKs, resends, and
+        the resequencer keeps strict FIFO delivery order."""
+        sim = Simulator()
+        _, b, link = make_link(sim)
+        guard = LinkRetxGuard(link)
+        hit = []
+
+        def corrupt_once(cell):
+            if cell.payload == "c2" and not hit:
+                hit.append(cell.payload)
+                return True
+            return False
+
+        link.drop_filter = corrupt_once
+        send(link, ["c0", "c1", "c2", "c3", "c4"])
+        sim.run()
+        assert b.received == ["c0", "c1", "c2", "c3", "c4"]
+        assert guard.nacks == 1
+        assert guard.resends == 1
+        assert guard.recovered == 1
+        assert guard.abandoned == 0
+        assert guard.occupancy() == 0  # everything settled
+
+    def test_resend_budget_exhaustion_falls_back_to_loss(self):
+        """A permanently-corrupting filter must end in loss after
+        ``max_resends`` attempts, and the held-back cells must drain."""
+        sim = Simulator()
+        _, b, link = make_link(sim)
+        guard = LinkRetxGuard(link, max_resends=2)
+        link.drop_filter = lambda cell: cell.payload == "dead"
+        send(link, ["a", "dead", "b", "c"])
+        sim.run()
+        assert b.received == ["a", "b", "c"]  # gap skipped, order kept
+        assert guard.abandoned == 1
+        assert guard.resends == 2  # budget fully spent first
+        assert guard.recovered == 0
+        assert guard.occupancy() == 0
+
+    def test_dead_link_abandons_without_nack(self):
+        """Reason "dead" is the reconfiguration layer's problem: the
+        guard declares loss immediately instead of NACKing a dead wire."""
+        sim = Simulator()
+        _, b, link = make_link(sim)
+        guard = LinkRetxGuard(link)
+        send(link, ["x", "y"])
+        link.fail()
+        sim.run()
+        assert b.received == []
+        assert guard.nacks == 0
+        assert guard.abandoned == 2
+
+    def test_buffer_overflow_evicts_oldest_copy(self):
+        """The retransmit buffer is bounded: overflowing it evicts the
+        oldest copy, and a later NACK for that cell becomes a loss."""
+        sim = Simulator()
+        _, b, link = make_link(sim)
+        guard = LinkRetxGuard(link, buffer_cells=2)
+        link.drop_filter = lambda cell: cell.payload == "p0"
+        send(link, ["p0", "p1", "p2", "p3", "p4"])
+        sim.run()
+        assert guard.buffer_overflows > 0
+        assert "p0" not in b.received  # its copy was evicted
+        assert b.received == ["p1", "p2", "p3", "p4"]
+        assert guard.occupancy() == 0
+
+    def test_duplicate_delivery_swallowed(self):
+        """A copy of an already-settled sequence must not reach the
+        port twice (resend raced the original through)."""
+        sim = Simulator()
+        _, b, link = make_link(sim)
+        guard = LinkRetxGuard(link)
+        send(link, ["q0"])
+        sim.run()
+        # Manually replay the settled cell: the guard must swallow it.
+        cell = Cell(vc=0, payload="q0")
+        cell_seq = 0
+        guard._seq_of[0][cell.uid] = cell_seq
+        assert guard._on_deliver(link, 0, cell) is True
+        assert guard.duplicates == 1
+        assert b.received == ["q0"]
+
+
+class TestAttachment:
+    def test_refuses_double_attachment(self):
+        sim = Simulator()
+        _, _, link = make_link(sim)
+        LinkRetxGuard(link)
+        with pytest.raises(ValueError):
+            LinkRetxGuard(link)
+
+    def test_detach_restores_plain_loss(self):
+        sim = Simulator()
+        _, b, link = make_link(sim)
+        guard = LinkRetxGuard(link)
+        guard.detach()
+        link.drop_filter = lambda cell: cell.payload == "gone"
+        send(link, ["gone", "kept"])
+        sim.run()
+        assert b.received == ["kept"]
+        assert guard.nacks == 0  # no hooks fire after detach
+
+    def test_validation(self):
+        sim = Simulator()
+        _, _, link = make_link(sim)
+        with pytest.raises(ValueError):
+            LinkRetxGuard(link, max_resends=0)
+        with pytest.raises(ValueError):
+            LinkRetxGuard(link, buffer_cells=0)
+
+    def test_max_occupancy_tracks_in_flight_copies(self):
+        sim = Simulator()
+        _, _, link = make_link(sim)
+        guard = LinkRetxGuard(link)
+        send(link, [f"m{i}" for i in range(6)])
+        sim.run()
+        assert guard.max_occupancy == 6
+        assert guard.occupancy() == 0

@@ -8,7 +8,7 @@ from repro.net.network import Network
 from repro.net.packet import Packet
 from repro.net.topology import Topology
 from repro.switch.switch import SwitchConfig
-from repro.traffic.arq import ArqTransfer
+from repro.traffic.arq import _ACK_MARK, _HEADER, ArqTransfer, _frame
 
 
 def drop_net(seed=78, credit_allocation=8):
@@ -137,6 +137,85 @@ class TestArq:
             self.arq_pair(net, window=0)
         with pytest.raises(ValueError):
             self.arq_pair(net, n_packets=0)
+
+    def test_ack_mark_compared_by_value(self):
+        """Regression: the ack check must use equality, not identity.
+
+        ``_parse`` unpacks the mark with ``struct``, so it is a fresh
+        int object (0xACC0 = 44224, far outside CPython's small-int
+        cache) that is never the *same object* as the module constant.
+        An ``is``-based guard silently ignored every ack; the sender
+        then never slid its window and retransmitted forever.
+        """
+        net = drop_net()
+        arq = self.arq_pair(net)
+        arq.start()
+        assert arq.base == 0
+        ack = Packet(
+            source=host_id(1),
+            destination=host_id(0),
+            payload=_frame(_ACK_MARK, 4, _HEADER.size),
+        )
+        arq._on_sender_packet(ack)
+        assert arq.base == 5  # the cumulative ack advanced the window
+
+    def test_severed_circuit_fails_terminally(self):
+        """A transfer whose data path dies must park in ``failed`` after
+        ``max_retries`` fruitless timeout rounds -- not retransmit its
+        window every timeout until the end of time."""
+        net = drop_net()
+        arq = self.arq_pair(
+            net, n_packets=30, max_retries=3, backoff=2.0, pacing_us=1_000.0
+        )
+        arq.start()
+        net.run(5_000)  # a few paced packets get through first
+        assert arq.base > 0
+        net.link_between("s0", "s1").fail()
+        net.run(4_000_000)
+        assert arq.failed
+        assert not arq.done
+        # Exactly max_retries fruitless rounds ran after the last ack;
+        # nothing is left armed (no event storm against a dead circuit).
+        assert arq.timeouts <= 3 + arq.base  # progress resets the count
+        assert arq._timer is None
+        assert arq._pace_event is None
+        transmitted_at_failure = arq.packets_transmitted
+        net.run(4_000_000)
+        assert arq.packets_transmitted == transmitted_at_failure
+
+    def test_backoff_grows_timeout_between_rounds(self):
+        net = drop_net()
+        arq = self.arq_pair(net, n_packets=10, max_retries=3, backoff=2.0)
+        arq.start()
+        # Kill the path immediately: no ack ever arrives.
+        net.link_between("h0", "s0").fail()
+        net.run(2_000_000)
+        assert arq.failed
+        assert arq.timeouts == 3
+        # Each fruitless round doubled the interval: 3ms, 6ms, 12ms.
+        assert arq._current_timeout_us == arq.timeout_us * 2.0 ** 3
+
+    def test_pacing_spreads_first_transmissions(self):
+        net = drop_net()
+        arq = self.arq_pair(net, n_packets=20, pacing_us=1_000.0)
+        arq.start()
+        # Pacing overrides the window blast: only the first packet goes
+        # out at start time.
+        assert arq.next_seq == 1
+        net.run(1_000_000)
+        assert arq.done
+        assert arq.retransmissions == 0
+        # 20 sends at 1ms spacing cannot complete before 19ms.
+        assert arq.completed_at >= 19_000.0
+
+    def test_new_knob_validation(self):
+        net = drop_net()
+        with pytest.raises(ValueError):
+            self.arq_pair(net, max_retries=0)
+        with pytest.raises(ValueError):
+            self.arq_pair(net, backoff=0.5)
+        with pytest.raises(ValueError):
+            self.arq_pair(net, pacing_us=-1.0)
 
     def test_works_over_credit_network_too(self, small_net):
         """ARQ is harmless over the lossless network: zero
