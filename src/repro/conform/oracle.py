@@ -662,3 +662,390 @@ def link_sweep(
                 }
             )
     return divergences, records
+
+
+# ======================================================================
+# fastpath differential (stacked engine vs per-switch fabrics)
+# ======================================================================
+#: matcher configurations the engine vectorizes, including the strict-RNG
+#: variants whose draws must come off the Python ``random.Random`` stream
+#: call-for-call.
+FASTPATH_KINDS = ("pim", "pim_strict", "islip", "fifo", "fifo_strict")
+
+
+def _build_fastpath_fabric(kind: str, n_ports: int, seed: int):
+    """One bitmask fabric of ``kind``; call twice for a scalar/engine twin."""
+    strict = kind.endswith("_strict")
+    if kind.startswith("pim"):
+        return VoqFabric(
+            n_ports,
+            BitmaskPim(
+                n_ports,
+                iterations=3,
+                rng=_seeded_rng(f"fastpath/{kind}", seed),
+                strict_rng=strict,
+            ),
+        )
+    if kind == "islip":
+        return VoqFabric(n_ports, BitmaskIslip(n_ports, iterations=3))
+    if kind.startswith("fifo"):
+        return FifoFabric(
+            n_ports,
+            BitmaskFifoScheduler(
+                n_ports,
+                rng=_seeded_rng(f"fastpath/{kind}", seed),
+                strict_rng=strict,
+            ),
+        )
+    raise ValueError(f"unknown fastpath kind {kind!r}")
+
+
+def _fastpath_state(fabric) -> Dict[str, Any]:
+    """Full observable state of a fabric as plain data.
+
+    Everything the engine's write-back contract covers: queue contents
+    (VOQ deques hold arrival slots; FIFO queues hold ``(slot, output)``
+    tuples), incremental masks, iSLIP pointers, the scheduler RNG's
+    Mersenne state, and every metric including raw sample order.
+    """
+    metrics = fabric.metrics
+    state: Dict[str, Any] = {
+        "metrics": [
+            metrics.slots,
+            metrics.cells_offered,
+            metrics.cells_delivered,
+            metrics.slots_with_backlog,
+            list(metrics.latency._samples),
+            list(metrics.iterations_to_maximal._samples),
+            sorted(metrics.maximal_within.items()),
+            sorted(
+                [list(pair), count]
+                for pair, count in metrics.delivered_per_pair.items()
+            ),
+        ],
+    }
+    if isinstance(fabric, VoqFabric):
+        state["queues"] = [
+            sorted([o, list(q)] for o, q in queues.items() if q)
+            for queues in fabric.queues
+        ]
+        state["masks"] = [
+            list(fabric.request_masks),
+            list(fabric.col_masks),
+            fabric.union_mask,
+        ]
+    else:
+        state["queues"] = [
+            [list(entry) for entry in q] for q in fabric.queues
+        ]
+    scheduler = fabric.scheduler
+    rng = getattr(scheduler, "rng", None)
+    if rng is not None:
+        version, internal, gauss = rng.getstate()
+        state["rng"] = [version, list(internal), gauss]
+    if hasattr(scheduler, "grant_pointers"):
+        state["pointers"] = [
+            list(scheduler.grant_pointers),
+            list(scheduler.accept_pointers),
+        ]
+    return state
+
+
+def _fastpath_metrics_view(fabric) -> List[Any]:
+    """The subset comparable while queue state still lives in the engine."""
+    state = _fastpath_state(fabric)
+    return [state["metrics"], state.get("rng")]
+
+
+def compare_fastpath(
+    kind: str,
+    n_ports: int,
+    seed: int,
+    pattern: str,
+    n_slots: int = 120,
+    backend: str = "auto",
+) -> Tuple[Optional[Divergence], str]:
+    """Drive scalar fabrics and their engine-resident twins from one seed.
+
+    Two sibling fabrics of ``kind`` share one
+    :class:`~repro.fastpath.engine.FabricArrayEngine` (so the stacked
+    arrays interleave rows, the hostile case for indexing bugs) while an
+    identically-seeded scalar pair steps independently.  Fabric 0 is
+    pinned back to the scalar path a third of the way in and re-adopted
+    at two thirds, exercising the mid-run write-back/re-register cycle.
+    Metrics and RNG streams are compared at every engine sync; the full
+    state (queues, masks, pointers, samples) is compared after the final
+    write-back.  Returns ``(divergence, state_hash)`` where the hash is a
+    SHA-256 over the scalar twins' end states -- the corpus pin.
+    """
+    from repro.conform.digest import canonical_bytes
+    from repro.fastpath.engine import FabricArrayEngine
+
+    n_fabrics = 2
+    scalar = [
+        _build_fastpath_fabric(kind, n_ports, seed * n_fabrics + j)
+        for j in range(n_fabrics)
+    ]
+    mirrored = [
+        _build_fastpath_fabric(kind, n_ports, seed * n_fabrics + j)
+        for j in range(n_fabrics)
+    ]
+    engine = FabricArrayEngine(backend=backend)
+    for fabric in mirrored:
+        engine.register(fabric)
+    traffic = [
+        PATTERNS[pattern](
+            n_ports, _seeded_rng(f"fastpath-traffic/{pattern}/{j}", seed)
+        )
+        for j in range(n_fabrics)
+    ]
+    pin_at, unpin_at = n_slots // 3, (2 * n_slots) // 3
+
+    def diverged(slot: int, j: int, reference: Any, candidate: Any):
+        return Divergence(
+            kind="fastpath",
+            pair=kind,
+            seed=seed,
+            size=n_ports,
+            case=f"{pattern}/{backend}",
+            round=slot,
+            port=j,
+            reference=repr(reference)[:200],
+            candidate=repr(candidate)[:200],
+        )
+
+    for slot in range(n_slots):
+        if slot == pin_at:
+            engine.pin_scalar(mirrored[0])
+        elif slot == unpin_at:
+            engine.unpin(mirrored[0])
+        for j in range(n_fabrics):
+            for input_port, output_port in traffic[j].arrivals(slot):
+                scalar[j].offer(input_port, output_port, slot)
+                engine.offer(mirrored[j], input_port, output_port, slot)
+        for fabric in scalar:
+            fabric.step(slot)
+        engine.step_all(slot)
+        if slot % 16 == 15:
+            engine.sync()
+            for j in range(n_fabrics):
+                ref = _fastpath_metrics_view(scalar[j])
+                cand = _fastpath_metrics_view(mirrored[j])
+                if ref != cand:
+                    return diverged(slot, j, ref, cand), ""
+    engine.sync()
+    for fabric in mirrored:
+        engine.unregister(fabric)
+    state_hash = hashlib.sha256()
+    for j in range(n_fabrics):
+        ref_state = _fastpath_state(scalar[j])
+        cand_state = _fastpath_state(mirrored[j])
+        state_hash.update(canonical_bytes(ref_state))
+        if ref_state != cand_state:
+            keys = [k for k in ref_state if ref_state[k] != cand_state.get(k)]
+            return (
+                diverged(
+                    n_slots,
+                    j,
+                    {k: ref_state[k] for k in keys},
+                    {k: cand_state.get(k) for k in keys},
+                ),
+                state_hash.hexdigest(),
+            )
+    return None, state_hash.hexdigest()
+
+
+def fastpath_sweep(
+    seeds: Sequence[int],
+    sizes: Sequence[int] = (4, 16),
+    kinds: Sequence[str] = FASTPATH_KINDS,
+    patterns: Sequence[str] = tuple(PATTERNS),
+    n_slots: int = 120,
+    backends: Optional[Sequence[str]] = None,
+) -> Tuple[List[Divergence], List[Dict[str, Any]]]:
+    """The engine differential grid over both backends.
+
+    The pure-Python stacked-loop backend is always swept (it is the
+    no-numpy fallback and must satisfy the same oracle); the numpy
+    backend is swept when numpy is importable and not forced off.
+    """
+    if backends is None:
+        from repro.fastpath.backend import load_numpy
+
+        backends = ("python",) if load_numpy() is None else (
+            "numpy", "python"
+        )
+    divergences: List[Divergence] = []
+    records: List[Dict[str, Any]] = []
+    for backend in backends:
+        for kind in kinds:
+            for n_ports in sizes:
+                for pattern in patterns:
+                    for seed in seeds:
+                        divergence, state_sha = compare_fastpath(
+                            kind,
+                            n_ports,
+                            seed,
+                            pattern,
+                            n_slots=n_slots,
+                            backend=backend,
+                        )
+                        if divergence is not None:
+                            divergences.append(divergence)
+                        records.append(
+                            {
+                                "kind": "fastpath",
+                                "matcher": kind,
+                                "backend": backend,
+                                "n_ports": n_ports,
+                                "pattern": pattern,
+                                "seed": seed,
+                                "n_slots": n_slots,
+                                "state_sha256": state_sha,
+                                "agreed": divergence is None,
+                            }
+                        )
+    return divergences, records
+
+
+def _scrub_tick_phase(fingerprint: Dict[str, Any]) -> Dict[str, Any]:
+    """Drop the fields the slot driver is allowed to change.
+
+    Wave coalescing re-phases per-switch slot timers onto one fabric-wide
+    tick and replaces N timer events with one, so ``slot_index`` and
+    ``events_executed`` differ by design; every traffic-visible outcome
+    (forwarding counts, queue occupancy, credits, epochs, link and host
+    state) must be byte-identical.
+    """
+    scrubbed = dict(fingerprint)
+    scrubbed.pop("events_executed", None)
+    scrubbed["switches"] = [
+        dict(switch, slot_index=0) for switch in scrubbed["switches"]
+    ]
+    return scrubbed
+
+
+def compare_slot_driver(
+    seed: int = 0, duration_us: float = 40_000.0
+) -> Tuple[Optional[Divergence], Dict[str, Any]]:
+    """Run the replay scenario with and without the fabric slot driver.
+
+    Builds the same 2x2 grid + dual-homed-hosts scenario as the digest
+    gate, once with per-switch slot timers and once with
+    ``fabric_slot_driver=True``, then compares the end-of-run
+    :func:`~repro.conform.digest.fingerprint_network` with the tick phase
+    scrubbed (see :func:`_scrub_tick_phase`).  The driver must also
+    *reduce* the kernel event count -- that is the whole point of wave
+    coalescing -- so equal-or-more events is reported as a divergence
+    too.  Returns ``(divergence, record)``.
+    """
+    import hashlib as _hashlib
+
+    from repro.conform.digest import canonical_bytes, fingerprint_network
+    from repro.net.host import HostConfig
+    from repro.net.network import Network
+    from repro.switch.switch import SwitchConfig
+    from repro.traffic.workload import PoissonPacketWorkload
+
+    def run_scenario(use_driver: bool):
+        topo = Topology.grid(2, 2)
+        topo.add_host(0)
+        topo.add_host(1)
+        topo.connect("h0", "s0", port_a=0, bps=622_000_000)
+        topo.connect("h0", "s2", port_a=1, bps=622_000_000)
+        topo.connect("h1", "s3", port_a=0, bps=622_000_000)
+        topo.connect("h1", "s1", port_a=1, bps=622_000_000)
+        net = Network(
+            topo,
+            seed=seed,
+            switch_config=SwitchConfig(
+                frame_slots=32,
+                control_delay_us=10.0,
+                ping_interval_us=500.0,
+                ack_timeout_us=200.0,
+                miss_threshold=2,
+                boot_reconfig_delay_us=1_500.0,
+                resync_interval_us=5_000.0,
+            ),
+            host_config=HostConfig(
+                ping_interval_us=500.0,
+                ack_timeout_us=200.0,
+                miss_threshold=2,
+                frame_slots=32,
+            ),
+            fabric_slot_driver=use_driver,
+        )
+        net.start()
+        net.run_until(net.converged, timeout_us=duration_us)
+        circuit = net.setup_circuit("h0", "h1")
+        workload = PoissonPacketWorkload(
+            net.sim,
+            net.host("h0"),
+            circuit.vc,
+            circuit.destination,
+            mean_interval_us=400.0,
+            packet_bytes=480,
+            rng=net.streams.stream("conform.digest.workload"),
+            duration_us=duration_us * 0.5,
+        )
+        workload.start()
+        net.run(duration_us)
+        return fingerprint_network(net), net.sim.events_executed
+
+    baseline, events_off = run_scenario(use_driver=False)
+    driven, events_on = run_scenario(use_driver=True)
+    ref_scrubbed = _scrub_tick_phase(baseline)
+    cand_scrubbed = _scrub_tick_phase(driven)
+    ref_sha = _hashlib.sha256(canonical_bytes(ref_scrubbed)).hexdigest()
+    cand_sha = _hashlib.sha256(canonical_bytes(cand_scrubbed)).hexdigest()
+    record = {
+        "kind": "slot-driver",
+        "seed": seed,
+        "duration_us": duration_us,
+        "events_off": events_off,
+        "events_on": events_on,
+        "state_sha256": ref_sha,
+        "agreed": ref_sha == cand_sha and events_on < events_off,
+    }
+    divergence: Optional[Divergence] = None
+    if ref_sha != cand_sha:
+        divergence = Divergence(
+            kind="fastpath",
+            pair="slot-driver",
+            seed=seed,
+            size=len(baseline["switches"]),
+            case="replay-scenario",
+            round=-1,
+            port=-1,
+            reference=ref_sha,
+            candidate=cand_sha,
+        )
+    elif events_on >= events_off:
+        divergence = Divergence(
+            kind="fastpath",
+            pair="slot-driver",
+            seed=seed,
+            size=len(baseline["switches"]),
+            case="event-count",
+            round=-1,
+            port=-1,
+            reference=f"<{events_off}",
+            candidate=events_on,
+        )
+    return divergence, record
+
+
+def slot_driver_sweep(
+    seeds: Sequence[int], duration_us: float = 40_000.0
+) -> Tuple[List[Divergence], List[Dict[str, Any]]]:
+    """:func:`compare_slot_driver` over a seed list."""
+    divergences: List[Divergence] = []
+    records: List[Dict[str, Any]] = []
+    for seed in seeds:
+        divergence, record = compare_slot_driver(
+            seed, duration_us=duration_us
+        )
+        if divergence is not None:
+            divergences.append(divergence)
+        records.append(record)
+    return divergences, records

@@ -66,6 +66,13 @@ del _m, _low
 _LEN16: Tuple[int, ...] = tuple(len(_bits) for _bits in _BITS16)
 _POW2: Tuple[int, ...] = tuple(1 << _i for _i in range(MAX_PORTS))
 
+# Public aliases for external consumers (the fastpath engine builds its
+# vectorized lookup arrays against these and cross-checks them in tests,
+# so the scalar and stacked paths cannot drift apart silently).
+BITS16 = _BITS16
+LEN16 = _LEN16
+POW2 = _POW2
+
 
 def mask_of(ports: Iterable[int]) -> int:
     """Pack an iterable of port numbers into a bitmask."""

@@ -163,6 +163,12 @@ class SweepTelemetry:
     start_method: str
     pool_startup_s: float = 0.0
     wall_s: float = 0.0
+    #: the engine's configured ``Pool.map`` chunk size (the instrumented
+    #: path itself submits per-task so each task gets its own stamps).
+    chunksize: int = 1
+    #: True when the run reused an already-warm persistent pool, so
+    #: ``pool_startup_s`` is genuinely zero rather than unmeasured.
+    pool_reused: bool = False
     tasks: List[TaskTiming] = field(default_factory=list)
 
     def phase_totals(self) -> Dict[str, float]:
@@ -190,10 +196,15 @@ class SweepTelemetry:
 
     def render(self) -> str:
         """A human-readable phase table (tools print this verbatim)."""
+        startup = (
+            "pool reused"
+            if self.pool_reused
+            else f"pool startup {self.pool_startup_s * 1e3:.1f} ms"
+        )
         lines = [
             f"sweep telemetry: {len(self.tasks)} tasks, "
             f"{self.workers} worker(s), wall {self.wall_s * 1e3:.1f} ms, "
-            f"pool startup {self.pool_startup_s * 1e3:.1f} ms"
+            f"{startup}, chunksize {self.chunksize}"
         ]
         totals = self.phase_totals()
         lines.append(
@@ -228,17 +239,72 @@ class SweepEngine:
     """Runs sweep tasks serially or across a process pool.
 
     ``workers <= 1`` runs everything in-process (the reference
-    schedule); larger values fan tasks out with ``chunksize=1`` so slow
-    points do not convoy behind fast ones.  Either way the result list
-    is in task order and digest-identical -- the engine's whole job is
-    to make that equivalence hold and then prove it via :meth:`verify`.
+    schedule); larger values fan tasks out across a process pool.
+    Either way the result list is in task order and digest-identical --
+    the engine's whole job is to make that equivalence hold and then
+    prove it via :meth:`verify`.
+
+    ``chunksize`` is handed straight to ``Pool.map``: 1 (the default)
+    dispatches one task per IPC round trip so slow points never convoy
+    behind fast ones, while larger chunks amortize the pickle/dispatch
+    overhead when the grid is many small uniform tasks.  Seeding is
+    positional-order-free, so chunking can never change any payload --
+    only the schedule.
+
+    ``persistent_pool=True`` keeps the worker pool alive across
+    :meth:`run` calls instead of paying pool startup (~25 ms measured,
+    DESIGN.md section 10.1) per sweep; callers that loop many small
+    sweeps opt in and :meth:`close` the engine when done.  The pool is
+    created lazily at ``workers`` processes on the first parallel run.
     """
 
-    def __init__(self, workers: int = 0, start_method: str = "") -> None:
+    def __init__(
+        self,
+        workers: int = 0,
+        start_method: str = "",
+        chunksize: int = 1,
+        persistent_pool: bool = False,
+    ) -> None:
+        if chunksize < 1:
+            raise ValueError(f"chunksize {chunksize} must be >= 1")
         self.workers = workers
         self.start_method = start_method
+        self.chunksize = chunksize
+        self.persistent_pool = persistent_pool
+        self._pool = None
         #: filled by :meth:`run` when called with ``telemetry=True``.
         self.last_telemetry: Optional[SweepTelemetry] = None
+
+    def _context(self):
+        return (
+            get_context(self.start_method)
+            if self.start_method
+            else get_context()
+        )
+
+    def _acquire_pool(self, n_tasks: int):
+        """``(pool, reused, startup_s)`` honouring the persistence mode.
+
+        A persistent pool is always sized to ``workers`` (it must serve
+        later, possibly larger, runs); a throwaway pool never spawns
+        more processes than it has tasks.
+        """
+        if self.persistent_pool:
+            if self._pool is not None:
+                return self._pool, True, 0.0
+            start = time.monotonic()
+            self._pool = self._context().Pool(processes=self.workers)
+            return self._pool, False, time.monotonic() - start
+        start = time.monotonic()
+        pool = self._context().Pool(processes=min(self.workers, n_tasks))
+        return pool, False, time.monotonic() - start
+
+    def close(self) -> None:
+        """Shut down the persistent pool, if one is alive (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
 
     def run(
         self, tasks: Iterable[SweepTask], telemetry: bool = False
@@ -248,16 +314,15 @@ class SweepEngine:
             return self._run_telemetry(task_list)
         if self.workers <= 1 or len(task_list) <= 1:
             return [run_task(task) for task in task_list]
-        context = (
-            get_context(self.start_method)
-            if self.start_method
-            else get_context()
-        )
-        processes = min(self.workers, len(task_list))
-        with context.Pool(processes=processes) as pool:
+        pool, _, _ = self._acquire_pool(len(task_list))
+        try:
             # Pool.map preserves input order in its result list no
             # matter which worker finishes when.
-            return pool.map(run_task, task_list, chunksize=1)
+            return pool.map(run_task, task_list, chunksize=self.chunksize)
+        finally:
+            if not self.persistent_pool:
+                pool.terminate()
+                pool.join()
 
     def _run_telemetry(self, task_list: List[SweepTask]) -> List[SweepResult]:
         """The instrumented run path: identical results, stamped phases.
@@ -269,7 +334,9 @@ class SweepEngine:
         """
         wall_start = time.monotonic()
         telemetry = SweepTelemetry(
-            workers=max(1, self.workers), start_method=self.start_method or ""
+            workers=max(1, self.workers),
+            start_method=self.start_method or "",
+            chunksize=self.chunksize,
         )
         if self.workers <= 1 or len(task_list) <= 1:
             results = []
@@ -291,16 +358,14 @@ class SweepEngine:
             telemetry.wall_s = time.monotonic() - wall_start
             self.last_telemetry = telemetry
             return results
-        context = (
-            get_context(self.start_method)
-            if self.start_method
-            else get_context()
+        telemetry.workers = (
+            self.workers if self.persistent_pool
+            else min(self.workers, len(task_list))
         )
-        processes = min(self.workers, len(task_list))
-        telemetry.workers = processes
-        pool_start = time.monotonic()
-        with context.Pool(processes=processes) as pool:
-            telemetry.pool_startup_s = time.monotonic() - pool_start
+        pool, reused, startup_s = self._acquire_pool(len(task_list))
+        telemetry.pool_reused = reused
+        telemetry.pool_startup_s = startup_s
+        try:
             ready_mono: Dict[int, float] = {}
 
             def _make_callback(position: int):
@@ -341,6 +406,10 @@ class SweepEngine:
                         merge_s=max(0.0, ready - end),
                     )
                 )
+        finally:
+            if not self.persistent_pool:
+                pool.terminate()
+                pool.join()
         telemetry.wall_s = time.monotonic() - wall_start
         self.last_telemetry = telemetry
         return results

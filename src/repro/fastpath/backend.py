@@ -1,0 +1,94 @@
+"""Optional numpy backend for the whole-fabric slot engine.
+
+The runtime package keeps ``dependencies = []``: numpy is a ``dev``
+extra, never a requirement.  This module is the single place that
+decides whether the vectorized backend exists:
+
+- ``load_numpy()`` returns the numpy module, or ``None`` when numpy is
+  not importable **or** when ``REPRO_FASTPATH_FORCE_PYTHON`` is set to a
+  non-empty value other than ``0`` (the no-numpy CI job sets it, and the
+  fallback tests force it per-test).
+- ``Tables`` packages the precomputed 16-bit lookup arrays the
+  vectorized match rounds index into.  They are built once per process,
+  lazily, from the same ``_BITS16`` dynamic program the scalar bitmask
+  kernels use (:mod:`repro.core.matching.bitmask`), so a table bug
+  cannot diverge between the scalar and vectorized paths.
+
+Tables (all indexed by a 16-bit mask):
+
+- ``pop[m]``   -- popcount of ``m`` (the contender count ``k``).
+- ``select[m, j]`` -- the ``j``-th set bit of ``m`` in ascending order
+  (the draw ``blist[j]``); undefined columns (``j >= pop[m]``) hold 0
+  and are never selected.
+- ``rotate[m, p]`` -- first set bit of ``m`` at or after position ``p``,
+  wrapping (``BitmaskIslip._rotate_pick``); 0 for ``m == 0``.
+- ``pow2``     -- ``pow2[i] == 1 << i`` as an int32 vector, used to pack
+  boolean (S, N, N) request cubes into stacked row/column masks with a
+  single ``einsum``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+FORCE_PYTHON_ENV = "REPRO_FASTPATH_FORCE_PYTHON"
+
+
+def python_forced() -> bool:
+    """True when the environment pins the pure-Python fallback."""
+    value = os.environ.get(FORCE_PYTHON_ENV, "")
+    return value not in ("", "0")
+
+
+def load_numpy():
+    """The numpy module, or ``None`` (absent or forced off)."""
+    if python_forced():
+        return None
+    try:
+        import numpy
+    except ImportError:
+        return None
+    return numpy
+
+
+class Tables:
+    """Precomputed 16-bit mask tables for the vectorized match rounds."""
+
+    _instance: Optional["Tables"] = None
+
+    def __init__(self, np) -> None:
+        self.np = np
+        bits = (
+            (np.arange(65536, dtype=np.uint32)[:, None]
+             >> np.arange(16, dtype=np.uint32)) & 1
+        ).astype(bool)  # bits[m, i] == bit i of m
+        self.pop = bits.sum(axis=1).astype(np.int64)
+        # Stable argsort of ~bits puts the set-bit positions first, in
+        # ascending order: exactly the _BITS16 tuple as an array row.
+        self.select = np.argsort(~bits, axis=1, kind="stable").astype(np.int8)
+        # rotate[m, p]: first set bit >= p, wrapping (iSLIP pointer pick).
+        lowest = self.select[:, 0].astype(np.int64)  # lowest set bit (0 for m=0)
+        masks = np.arange(65536, dtype=np.int64)
+        rotate = np.empty((65536, 16), dtype=np.int8)
+        for pointer in range(16):
+            upper = masks >> pointer
+            rotate[:, pointer] = np.where(
+                upper != 0, pointer + lowest[upper], lowest
+            ).astype(np.int8)
+        self.rotate = rotate
+        self.pow2 = (np.int64(1) << np.arange(16, dtype=np.int64)).astype(
+            np.int64
+        )
+        # float64 copy for weighted-bincount mask packing: each packed
+        # bit is a distinct power of two < 2**16, so float addition is
+        # exact and "sum of distinct bits" equals "bitwise or".
+        self.pow2f = self.pow2.astype(np.float64)
+        self.arange16 = np.arange(16, dtype=np.int64)
+
+    @classmethod
+    def get(cls, np) -> "Tables":
+        instance = cls._instance
+        if instance is None or instance.np is not np:
+            instance = cls._instance = cls(np)
+        return instance

@@ -51,6 +51,7 @@ class Network:
         host_config: Optional[HostConfig] = None,
         drift_ppm: float = 0.0,
         batch_cell_trains: bool = False,
+        fabric_slot_driver: bool = False,
     ) -> None:
         """Args:
             topology: the connection pattern to instantiate.
@@ -64,6 +65,13 @@ class Network:
                 and dropped cell sets are unchanged; kernel event counts
                 drop for bursty traffic.  Off by default because the
                 frozen replay digests record the per-cell event schedule.
+            fabric_slot_driver: coalesce all drift-free switches' slot
+                timers into one :class:`~repro.fastpath.FabricSlotDriver`
+                wave event per slot (DESIGN §13).  Switches with clock
+                drift keep their private timers.  Off by default: the
+                wave models a fabric-wide synchronized slot clock, so
+                event schedules (and digests) differ from per-switch
+                timing while delivered traffic does not.
         """
         self.topology = topology
         self.sim = Simulator()
@@ -94,6 +102,13 @@ class Network:
         self.vc_allocator = VcAllocator()
         self.circuits: Dict[int, VirtualCircuit] = {}
         drift_rng = self.streams.stream("clock_drift")
+        self.slot_driver = None
+        if fabric_slot_driver:
+            from repro.fastpath.driver import FabricSlotDriver
+
+            self.slot_driver = FabricSlotDriver(
+                self.sim, base_config.slot_time_us
+            )
 
         for node in topology.switches():
             config = base_config
@@ -110,6 +125,8 @@ class Network:
                 n_ports=topology.ports_of(node),
                 registry=self.registry,
             )
+            if self.slot_driver is not None:
+                self.slot_driver.adopt(self.switches[node])
         for node in topology.hosts():
             self.hosts[node] = Host(
                 self.sim,

@@ -4,7 +4,8 @@ Attach a :class:`SubsystemProfiler` to ``Simulator.profiler`` and the
 kernel (which swaps in its instrumented loop, exactly as for the tracer)
 routes every dispatched event through :meth:`dispatch`, which classifies
 the callback into a *subsystem* -- matcher, routing, flowcontrol, links,
-aal, reconfig, monitor, traffic -- and counts it.  Event counts are a
+aal, reconfig, monitor, traffic, fastpath (the whole-fabric slot
+driver's coalesced wave ticks) -- and counts it.  Event counts are a
 pure function of the dispatch order, so for a fixed seed they are as
 deterministic as the run digest: two runs of the same scenario produce
 identical count tables, which makes profiles diffable across commits.
@@ -29,6 +30,7 @@ from typing import Any, Callable, Dict, List, Tuple
 
 #: (qualname prefix, subsystem) -- checked first, in order.
 QUALNAME_RULES: Tuple[Tuple[str, str], ...] = (
+    ("FabricSlotDriver._fire", "fastpath"),
     ("AN2Switch._slot_tick", "matcher"),
     ("AN2Switch._resync_tick", "flowcontrol"),
     ("AN2Switch._handle_signaling", "routing"),
@@ -48,6 +50,7 @@ MODULE_RULES: Tuple[Tuple[str, str], ...] = (
     ("repro.core.signaling", "routing"),
     ("repro.core.flowcontrol", "flowcontrol"),
     ("repro.core.matching", "matcher"),
+    ("repro.fastpath", "fastpath"),
     ("repro.net.link", "links"),
     ("repro.net.host", "aal"),
     ("repro.net.aal", "aal"),

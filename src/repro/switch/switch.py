@@ -185,6 +185,9 @@ class AN2Switch(Node):
         self._vc_in_port: Dict[VcId, int] = {}
         self._slot_index = 0
         self._tick_scheduled = False
+        #: optional repro.fastpath.FabricSlotDriver; when set (and the
+        #: local clock is drift-free) slot timers coalesce into its wave.
+        self._slot_driver = None
         self._started = False
         #: observers of verdict changes: callbacks (port_index, verdict).
         self.verdict_observers: List[Callable[[int, LinkVerdict], None]] = []
@@ -682,6 +685,14 @@ class AN2Switch(Node):
         if self._tick_scheduled:
             return
         self._tick_scheduled = True
+        driver = self._slot_driver
+        if driver is not None and self.clock.drift_ppm == 0.0:
+            # Fabric-wide slot wave: one kernel event for every switch
+            # due this slot.  A mid-run clock-drift fault drops the
+            # switch back to its private timer (the branch above), the
+            # same blast-radius fallback the array engine uses.
+            driver.request_tick(self)
+            return
         self.sim.schedule(
             self.clock.global_delay(self.config.slot_time_us), self._slot_tick
         )

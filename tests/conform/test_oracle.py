@@ -160,3 +160,75 @@ class TestCorpus:
             )
             assert divergence is None, str(divergence)
             assert paths_hash == record["paths_sha256"], record
+
+
+# ----------------------------------------------------------------------
+# fastpath differential (stacked engine vs scalar fabrics)
+# ----------------------------------------------------------------------
+class TestFastpathOracle:
+    def test_small_sweep_clean(self):
+        from repro.conform.oracle import fastpath_sweep
+
+        divergences, records = fastpath_sweep(
+            seeds=[0, 1],
+            sizes=(4,),
+            kinds=("pim", "fifo_strict"),
+            patterns=("bernoulli-0.95", "permutation"),
+            n_slots=60,
+        )
+        assert divergences == []
+        assert records
+        for record in records:
+            assert record["agreed"]
+            assert record["backend"] in ("numpy", "python")
+            assert len(record["state_sha256"]) == 64
+        # the pure-Python fallback backend is always part of the sweep
+        assert {r["backend"] for r in records} >= {"python"}
+
+    def test_state_hash_is_seed_sensitive(self):
+        from repro.conform.oracle import compare_fastpath
+
+        _, first = compare_fastpath(
+            "pim", 4, seed=0, pattern="hotspot", n_slots=40,
+            backend="python",
+        )
+        _, second = compare_fastpath(
+            "pim", 4, seed=1, pattern="hotspot", n_slots=40,
+            backend="python",
+        )
+        assert first != second
+
+    def test_sabotaged_engine_is_caught(self, monkeypatch):
+        """A candidate fabric whose RNG seed silently differs must be
+        reported as a fastpath divergence, not pass unnoticed."""
+        real_builder = oracle._build_fastpath_fabric
+
+        def skewed_builder(kind, n_ports, seed):
+            return real_builder(kind, n_ports, seed + 1)
+
+        built = []
+
+        def pair_builder(kind, n_ports, seed):
+            # scalar twins build first in compare_fastpath; skew only
+            # the second (engine-registered) set.
+            built.append(None)
+            if len(built) <= 2:
+                return real_builder(kind, n_ports, seed)
+            return skewed_builder(kind, n_ports, seed)
+
+        monkeypatch.setattr(oracle, "_build_fastpath_fabric", pair_builder)
+        divergence, _ = oracle.compare_fastpath(
+            "pim", 4, seed=3, pattern="bernoulli-0.95", n_slots=60,
+            backend="python",
+        )
+        assert isinstance(divergence, Divergence)
+        assert divergence.kind == "fastpath"
+        assert divergence.pair == "pim"
+
+    def test_slot_driver_scenario_agrees(self):
+        from repro.conform.oracle import compare_slot_driver
+
+        divergence, record = compare_slot_driver(seed=1)
+        assert divergence is None, str(divergence)
+        assert record["agreed"]
+        assert record["events_on"] < record["events_off"]

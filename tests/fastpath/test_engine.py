@@ -1,0 +1,266 @@
+"""Unit tests for the whole-fabric slot engine's mechanics.
+
+The engine's contract is *bit-identity*: a registered fabric must end
+every sync in exactly the state per-switch scalar stepping would have
+produced -- queues, masks, pointers, RNG stream position, and every
+metric sample in order.  The randomized proof of that lives in
+``test_property.py``; these tests pin the mechanics around it --
+backend selection, the scalar-fallback residency rules, mid-run
+pin/unpin, and write-back on unregister -- with small deterministic
+cases.
+"""
+
+import random
+
+import pytest
+
+from repro.conform.oracle import FASTPATH_KINDS, compare_fastpath
+from repro.core.matching.bitmask import (
+    BitmaskFifoScheduler,
+    BitmaskIslip,
+    BitmaskPim,
+)
+from repro.core.matching.pim import ParallelIterativeMatcher
+from repro.fastpath.backend import FORCE_PYTHON_ENV, load_numpy
+from repro.fastpath.engine import FabricArrayEngine
+from repro.switch.fabric import FifoFabric, VoqFabric
+
+requires_numpy = pytest.mark.skipif(
+    load_numpy() is None, reason="numpy unavailable or forced off"
+)
+
+BACKENDS = ["python"] + (["numpy"] if load_numpy() is not None else [])
+
+
+def pim_fabric(seed: int = 7, n_ports: int = 4, **kwargs) -> VoqFabric:
+    return VoqFabric(
+        n_ports,
+        BitmaskPim(n_ports, iterations=3, rng=random.Random(seed)),
+        **kwargs,
+    )
+
+
+def drive(fabric, slots: int, seed: int, engine=None, load: float = 0.9):
+    """Feed a frozen Bernoulli trace through the fabric or the engine."""
+    rng = random.Random(seed)
+    n = fabric.n_ports
+    for slot in range(slots):
+        for i in range(n):
+            if rng.random() < load:
+                o = rng.randrange(n)
+                if engine is None:
+                    fabric.offer(i, o, slot)
+                else:
+                    engine.offer(fabric, i, o, slot)
+        if engine is None:
+            fabric.step(slot)
+        else:
+            engine.step_all(slot)
+
+
+# ----------------------------------------------------------------------
+# backend selection
+# ----------------------------------------------------------------------
+class TestBackend:
+    @requires_numpy
+    def test_auto_picks_numpy_when_available(self):
+        assert FabricArrayEngine(backend="auto").backend == "numpy"
+
+    def test_python_backend_always_available(self):
+        engine = FabricArrayEngine(backend="python")
+        assert engine.backend == "python"
+        assert engine.np is None
+
+    def test_force_python_env_degrades_auto(self, monkeypatch):
+        monkeypatch.setenv(FORCE_PYTHON_ENV, "1")
+        assert load_numpy() is None
+        assert FabricArrayEngine(backend="auto").backend == "python"
+
+    def test_numpy_backend_raises_when_forced_off(self, monkeypatch):
+        monkeypatch.setenv(FORCE_PYTHON_ENV, "1")
+        with pytest.raises(RuntimeError):
+            FabricArrayEngine(backend="numpy")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            FabricArrayEngine(backend="cuda")
+
+
+# ----------------------------------------------------------------------
+# residency rules (DESIGN section 13 scalar-fallback triggers)
+# ----------------------------------------------------------------------
+class TestResidency:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_plain_bitmask_fabrics_vectorize(self, backend):
+        engine = FabricArrayEngine(backend=backend)
+        fabrics = [
+            pim_fabric(1),
+            VoqFabric(8, BitmaskIslip(8, iterations=2)),
+            FifoFabric(4, BitmaskFifoScheduler(4, rng=random.Random(2))),
+        ]
+        for fabric in fabrics:
+            engine.register(fabric)
+        if backend == "numpy":
+            assert all(engine.vectorized(f) for f in fabrics)
+            assert engine.n_vectorized == 3
+        else:
+            # the pure-Python backend keeps everything scalar-resident
+            assert engine.n_vectorized == 0
+        assert engine.n_registered == 3
+
+    @requires_numpy
+    def test_scalar_fallback_triggers(self):
+        from repro.obs.trace import Tracer
+
+        engine = FabricArrayEngine(backend="numpy")
+        scalar_bound = [
+            # reference (non-bitmask) scheduler
+            VoqFabric(4, ParallelIterativeMatcher(4, rng=random.Random(3))),
+            # wider than the 16-lane stacked masks
+            VoqFabric(32, BitmaskPim(32, rng=random.Random(4))),
+            # frame schedule (guaranteed reservations)
+            VoqFabric(
+                4,
+                BitmaskPim(4, rng=random.Random(5)),
+                frame_schedule=[{0: 1}],
+            ),
+            # live tracer
+            VoqFabric(
+                4, BitmaskPim(4, rng=random.Random(6)), tracer=Tracer()
+            ),
+            # bounded buffers
+            VoqFabric(
+                4, BitmaskPim(4, rng=random.Random(7)), buffer_capacity=8
+            ),
+        ]
+        for fabric in scalar_bound:
+            engine.register(fabric)
+            assert not engine.vectorized(fabric)
+        assert engine.n_registered == len(scalar_bound)
+        assert engine.n_vectorized == 0
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_scalar_residents_step_identically(self, backend):
+        """Non-vectorizable fabrics are stepped by the engine, scalar."""
+        twin = VoqFabric(
+            4, BitmaskPim(4, rng=random.Random(9)), buffer_capacity=4
+        )
+        resident = VoqFabric(
+            4, BitmaskPim(4, rng=random.Random(9)), buffer_capacity=4
+        )
+        engine = FabricArrayEngine(backend=backend)
+        engine.register(resident)
+        assert not engine.vectorized(resident)
+        drive(twin, 80, seed=11, load=1.2)
+        drive(resident, 80, seed=11, engine=engine, load=1.2)
+        engine.sync()
+        assert resident.metrics.cells_delivered == twin.metrics.cells_delivered
+        assert resident.queues == twin.queues
+        assert resident.scheduler.rng.getstate() == twin.scheduler.rng.getstate()
+
+    def test_register_twice_rejected(self):
+        engine = FabricArrayEngine(backend="python")
+        fabric = pim_fabric()
+        engine.register(fabric)
+        with pytest.raises(ValueError):
+            engine.register(fabric)
+
+    def test_unregister_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            FabricArrayEngine(backend="python").unregister(pim_fabric())
+
+
+# ----------------------------------------------------------------------
+# equivalence through the differential oracle
+# ----------------------------------------------------------------------
+class TestEquivalence:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("kind", FASTPATH_KINDS)
+    def test_engine_matches_scalar(self, kind, backend):
+        """Every vectorized matcher kind, both backends, one oracle case
+        (includes the mid-run pin/unpin cycle the oracle drives)."""
+        divergence, state_hash = compare_fastpath(
+            kind, 4, seed=5, pattern="bernoulli-0.95",
+            n_slots=96, backend=backend,
+        )
+        assert divergence is None, str(divergence)
+        assert len(state_hash) == 64
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_hotspot_pattern_n16(self, backend):
+        divergence, _ = compare_fastpath(
+            "pim", 16, seed=2, pattern="hotspot",
+            n_slots=64, backend=backend,
+        )
+        assert divergence is None, str(divergence)
+
+
+# ----------------------------------------------------------------------
+# lifecycle: write-back, pin/unpin, metrics reset, backlog
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_unregister_writes_back_and_fabric_keeps_working(self, backend):
+        twin = pim_fabric(21)
+        mirrored = pim_fabric(21)
+        engine = FabricArrayEngine(backend=backend)
+        engine.register(mirrored)
+        drive(twin, 60, seed=31, load=1.1)
+        drive(mirrored, 60, seed=31, engine=engine, load=1.1)
+        engine.unregister(mirrored)
+        # the written-back fabric continues standalone, bit-identical
+        rng = random.Random(77)
+        for slot in range(60, 120):
+            for i in range(4):
+                if rng.random() < 0.8:
+                    o = rng.randrange(4)
+                    twin.offer(i, o, slot)
+                    mirrored.offer(i, o, slot)
+            assert twin.step(slot).matching == mirrored.step(slot).matching
+        assert twin.queues == mirrored.queues
+        assert (
+            twin.metrics.latency._samples
+            == mirrored.metrics.latency._samples
+        )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_total_backlog_tracks_queues(self, backend):
+        fabric = pim_fabric(23)
+        engine = FabricArrayEngine(backend=backend)
+        engine.register(fabric)
+        assert engine.total_backlog(fabric) == 0
+        engine.offer(fabric, 0, 1, 0)
+        engine.offer(fabric, 2, 1, 0)
+        assert engine.total_backlog(fabric) == 2
+        engine.step_all(0)
+        assert engine.total_backlog(fabric) == 1  # one grant per output
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_reset_metrics_matches_scalar_reset(self, backend):
+        twin = pim_fabric(25)
+        mirrored = pim_fabric(25)
+        engine = FabricArrayEngine(backend=backend)
+        engine.register(mirrored)
+        drive(twin, 40, seed=41)
+        drive(mirrored, 40, seed=41, engine=engine)
+        twin.reset_metrics()
+        engine.reset_metrics()
+        drive_from = 40
+        rng = random.Random(43)
+        for slot in range(drive_from, drive_from + 40):
+            for i in range(4):
+                if rng.random() < 0.9:
+                    o = rng.randrange(4)
+                    twin.offer(i, o, slot)
+                    engine.offer(mirrored, i, o, slot)
+            twin.step(slot)
+            engine.step_all(slot)
+        engine.sync()
+        assert mirrored.metrics.slots == twin.metrics.slots
+        assert (
+            mirrored.metrics.cells_delivered == twin.metrics.cells_delivered
+        )
+        assert (
+            mirrored.metrics.latency._samples
+            == twin.metrics.latency._samples
+        )

@@ -146,3 +146,56 @@ def test_profiler_composes_with_tracer():
     sim.profiler = None
     assert "step" not in sim.__dict__
     assert "run" not in sim.__dict__
+
+
+def test_classify_fastpath_slot_driver():
+    """The fabric slot driver's wave ticks get their own subsystem: a
+    coalesced wave is fabric-advance work, not 'other' noise."""
+    from repro.fastpath.driver import FabricSlotDriver
+
+    assert classify_callback(FabricSlotDriver._fire) == "fastpath"
+
+
+def test_profiler_attributes_driver_waves_on_a_network():
+    from repro.net.network import Network
+    from repro.net.topology import Topology
+    from repro.traffic.workload import PoissonPacketWorkload
+
+    from tests.conftest import fast_host_config, fast_switch_config
+
+    topo = Topology.line(3)
+    topo.add_host(0)
+    topo.add_host(1)
+    topo.connect("h0", "s0", port_a=0, bps=622_000_000)
+    topo.connect("h1", "s2", port_a=0, bps=622_000_000)
+    net = Network(
+        topo,
+        seed=1,
+        switch_config=fast_switch_config(),
+        host_config=fast_host_config(),
+        fabric_slot_driver=True,
+    )
+    net.start()
+    net.run_until_converged(timeout_us=500_000)
+    circuit = net.setup_circuit("h0", "h1")
+    workload = PoissonPacketWorkload(
+        net.sim,
+        net.host("h0"),
+        circuit.vc,
+        circuit.destination,
+        mean_interval_us=200.0,
+        packet_bytes=480,
+        rng=net.streams.stream("test.profiler.workload"),
+        duration_us=8_000.0,
+    )
+    profiler = SubsystemProfiler()
+    waves_before = net.slot_driver.waves
+    net.sim.profiler = profiler
+    workload.start()
+    net.run(16_000.0)
+    net.sim.profiler = None
+    assert profiler.events.get("fastpath", 0) > 0
+    assert (
+        profiler.events["fastpath"]
+        == net.slot_driver.waves - waves_before
+    )

@@ -12,9 +12,13 @@ contract") in three stages:
    (``Pim``/``Islip``/``FifoScheduler``) against their bitmask fast-path
    counterparts cell-by-cell from identical seeds across fabric sizes
    and load patterns, cross-checks AN1 against AN2 routing on shared
-   random topologies, and drives batched (cell-train) links against the
-   per-cell reference schedule under scripted faults.  Any divergence is
-   reported as the first divergent case and fails the gate.
+   random topologies, drives batched (cell-train) links against the
+   per-cell reference schedule under scripted faults, proves the
+   whole-fabric slot engine (:mod:`repro.fastpath`) bit-identical to
+   per-switch scalar stepping on both its backends, and checks the
+   fabric slot driver leaves traffic outcomes untouched while executing
+   fewer kernel events.  Any divergence is reported as the first
+   divergent case and fails the gate.
 3. **Nondeterminism lint** -- ``tools/lint_determinism.py`` over
    ``src/repro``.
 
@@ -40,9 +44,11 @@ sys.path.insert(0, str(SRC))
 
 from repro.conform.digest import digest_scenario  # noqa: E402
 from repro.conform.oracle import (  # noqa: E402
+    fastpath_sweep,
     link_sweep,
     matcher_sweep,
     routing_sweep,
+    slot_driver_sweep,
 )
 
 HASHSEEDS = ("0", "1", "12345", "random")
@@ -103,14 +109,30 @@ def check_differential(n_seeds: int, n_slots: int) -> bool:
     divergences, corpus = matcher_sweep(seeds, n_slots=n_slots)
     routing_div, routing_corpus = routing_sweep(seeds)
     link_div, link_corpus = link_sweep(seeds)
-    total = len(divergences) + len(routing_div) + len(link_div)
+    # The fastpath differential is heavier per case (scalar twins + the
+    # stacked engine, both backends); cap its seed list so the stage
+    # stays proportionate to the matcher sweep.
+    fastpath_seeds = seeds[: max(2, n_seeds // 4)]
+    fastpath_div, fastpath_corpus = fastpath_sweep(
+        fastpath_seeds, n_slots=min(n_slots, 120)
+    )
+    driver_div, driver_corpus = slot_driver_sweep(fastpath_seeds[:2])
+    total = (
+        len(divergences) + len(routing_div) + len(link_div)
+        + len(fastpath_div) + len(driver_div)
+    )
     label = "OK" if total == 0 else "FAIL"
     print(
         f"      {len(corpus)} matcher cases + {len(routing_corpus)} "
-        f"routing cases + {len(link_corpus)} link cases -> "
+        f"routing cases + {len(link_corpus)} link cases + "
+        f"{len(fastpath_corpus)} fastpath cases + {len(driver_corpus)} "
+        f"slot-driver cases -> "
         f"{total} divergence(s) [{label}, {time.time() - t0:.1f}s]"
     )
-    for div in list(divergences) + list(routing_div) + list(link_div):
+    for div in (
+        list(divergences) + list(routing_div) + list(link_div)
+        + list(fastpath_div) + list(driver_div)
+    ):
         print(f"      {div}")
     return total == 0
 

@@ -1,0 +1,179 @@
+#!/usr/bin/env python
+"""Whole-fabric slot engine demo: every switch of a fat-tree, one pass.
+
+Builds the k-ary fat-tree (``fat_tree(k=16)`` is 320 switches of 16
+ports each -- the engine's native lane width), gives every switch a
+bitmask-PIM VOQ fabric, and advances all of them through the same
+frozen uniform-load trace twice:
+
+- **scalar**: each fabric offered and stepped one switch at a time,
+  the way ``Network`` advances slots without the fastpath engine;
+- **engine**: all fabrics registered into one
+  :class:`~repro.fastpath.engine.FabricArrayEngine` and advanced with
+  one vectorized (or pure-Python stacked, when numpy is absent) pass
+  per slot.
+
+The two runs must deliver identical work -- the tool exits non-zero on
+any checksum mismatch -- and the timings show what fabric-wide batching
+buys at hundreds of switches.  Timings are informational; the gating
+comparison lives in ``benchmarks/bench_speed.py``
+(``fabric_slot_engine_speedup``).
+
+Usage::
+
+    python tools/run_fastpath.py [--k 16] [--slots 300] [--load 1.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.core.matching.bitmask import BitmaskPim  # noqa: E402
+from repro.fastpath.backend import load_numpy  # noqa: E402
+from repro.fastpath.engine import FabricArrayEngine  # noqa: E402
+from repro.net.topogen import fat_tree  # noqa: E402
+from repro.switch.fabric import VoqFabric  # noqa: E402
+
+TRACE_SEED = 42
+MATCHER_SEED = 1
+
+
+def build_fabrics(n_switches: int, n_ports: int):
+    return [
+        VoqFabric(
+            n_ports,
+            BitmaskPim(
+                n_ports, iterations=3, rng=random.Random(MATCHER_SEED + j)
+            ),
+        )
+        for j in range(n_switches)
+    ]
+
+
+def build_trace(n_switches: int, n_ports: int, load: float, slots: int):
+    rng = random.Random(TRACE_SEED)
+    rng_random = rng.random
+    return [
+        [
+            [
+                (i, int(rng_random() * n_ports))
+                for i in range(n_ports)
+                if rng_random() < load
+            ]
+            for _ in range(n_switches)
+        ]
+        for _ in range(slots)
+    ]
+
+
+def checksum(fabrics) -> int:
+    delivered = sum(f.metrics.cells_delivered for f in fabrics)
+    waited = sum(sum(f.metrics.latency._samples) for f in fabrics)
+    return delivered * 1_000_003 + waited
+
+
+def run_scalar(trace, n_switches: int, n_ports: int) -> tuple:
+    fabrics = build_fabrics(n_switches, n_ports)
+    start = time.perf_counter()
+    for slot, per_fabric in enumerate(trace):
+        for j, fabric in enumerate(fabrics):
+            fabric.offer_batch(per_fabric[j], slot)
+        for fabric in fabrics:
+            fabric.step(slot)
+    return time.perf_counter() - start, checksum(fabrics)
+
+
+def run_engine(trace, n_switches: int, n_ports: int) -> tuple:
+    np = load_numpy()
+    fabrics = build_fabrics(n_switches, n_ports)
+    engine = FabricArrayEngine(backend="auto")
+    for fabric in fabrics:
+        engine.register(fabric)
+    if np is not None:
+        trace = [
+            [
+                (
+                    np.asarray([c[0] for c in cells], np.int64),
+                    np.asarray([c[1] for c in cells], np.int64),
+                )
+                for cells in per_fabric
+            ]
+            for per_fabric in trace
+        ]
+    start = time.perf_counter()
+    if np is not None:
+        for slot, per_fabric in enumerate(trace):
+            for j, fabric in enumerate(fabrics):
+                ins, outs = per_fabric[j]
+                engine.offer_arrays(fabric, ins, outs, slot)
+            engine.step_all(slot)
+    else:
+        for slot, per_fabric in enumerate(trace):
+            for j, fabric in enumerate(fabrics):
+                engine.offer_batch(fabric, per_fabric[j], slot)
+            engine.step_all(slot)
+    engine.sync()
+    elapsed = time.perf_counter() - start
+    return elapsed, checksum(fabrics), engine
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--k", type=int, default=16,
+        help="fat-tree arity (default 16: 320 switches, 16 ports each)",
+    )
+    parser.add_argument(
+        "--slots", type=int, default=300,
+        help="slots to advance the whole fabric (default 300)",
+    )
+    parser.add_argument(
+        "--load", type=float, default=1.0,
+        help="Bernoulli offered load per input port (default 1.0)",
+    )
+    args = parser.parse_args(argv)
+
+    structured = fat_tree(args.k)
+    n_switches = len(structured.topology.switches())
+    n_ports = args.k
+    print(
+        f"fat_tree(k={args.k}): {n_switches} switches x {n_ports} ports, "
+        f"{args.slots} slots at load {args.load}"
+    )
+    trace = build_trace(n_switches, n_ports, args.load, args.slots)
+
+    scalar_s, scalar_sum = run_scalar(trace, n_switches, n_ports)
+    engine_s, engine_sum, engine = run_engine(trace, n_switches, n_ports)
+    backend = "numpy" if engine.np is not None else "python"
+    print(
+        f"  scalar : {scalar_s:.3f}s "
+        f"({scalar_s / args.slots * 1e6:.0f} us/slot)"
+    )
+    print(
+        f"  engine : {engine_s:.3f}s "
+        f"({engine_s / args.slots * 1e6:.0f} us/slot) "
+        f"[backend={backend}, {engine.n_vectorized}/{n_switches} "
+        f"vectorized]"
+    )
+    if engine_sum != scalar_sum:
+        print(
+            f"  FAIL: work checksums differ "
+            f"(scalar {scalar_sum}, engine {engine_sum})"
+        )
+        return 1
+    print(
+        f"  work checksum {scalar_sum} identical; "
+        f"speedup {scalar_s / engine_s:.2f}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
